@@ -1,0 +1,50 @@
+"""Benchmarks for Table 2 / Table 4: configuration execution cost.
+
+Regenerates the configuration tables and times a full discrete-event
+execution of the elementary (Cf) and densest (C2.8) configurations.
+"""
+
+from repro.configs.base import build_spec
+from repro.configs.table2 import get_config as t2, table2
+from repro.configs.table4 import get_config as t4, table4
+from repro.runtime.runner import run_ensemble
+
+
+def test_bench_table2_execution(benchmark, bench_settings):
+    """Time one full DES execution of Cf (Table 2's baseline row)."""
+    config = t2("Cf")
+    spec = build_spec(config, n_steps=bench_settings["n_steps"])
+
+    result = benchmark(
+        lambda: run_ensemble(spec, config.placement(), seed=0)
+    )
+    assert result.total_nodes == 2
+    assert result.ensemble_makespan > 0
+
+    print("\nTable 2 configurations:")
+    for c in table2():
+        rows = [
+            f"(sim@n{m.simulation_node}, ana@{list(m.analysis_nodes)})"
+            for m in c.members
+        ]
+        print(f"  {c.name:5s} nodes={c.num_nodes} members={rows}")
+
+
+def test_bench_table4_execution(benchmark, bench_settings):
+    """Time one full DES execution of C2.8 (Table 4's densest row)."""
+    config = t4("C2.8")
+    spec = build_spec(config, n_steps=bench_settings["n_steps"])
+
+    result = benchmark(
+        lambda: run_ensemble(spec, config.placement(), seed=0)
+    )
+    assert result.total_nodes == 2
+    assert len(result.members) == 2
+
+    print("\nTable 4 configurations:")
+    for c in table4():
+        rows = [
+            f"(sim@n{m.simulation_node}, ana@{list(m.analysis_nodes)})"
+            for m in c.members
+        ]
+        print(f"  {c.name:5s} nodes={c.num_nodes} members={rows}")

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 7 (analysis-core sweep, §3.4).
+
+Asserts the crossover location (between 4 and 8 cores) and the
+heuristic's choice (8 cores, maximal E among feasible counts).
+"""
+
+from repro.experiments.fig7 import heuristic_choice, run_fig7
+
+
+def test_bench_fig7(benchmark):
+    result = benchmark(run_fig7)
+
+    for cores in (1, 2, 4):
+        row = result.row_for("analysis_cores", cores)
+        assert row["analysis_active"] > row["simulation_active"]
+        assert not row["feasible"]
+    for cores in (8, 16, 32):
+        row = result.row_for("analysis_cores", cores)
+        assert row["feasible"]
+
+    feasible = [row for row in result.rows if row["feasible"]]
+    best = max(feasible, key=lambda r: r["efficiency"])
+    assert best["analysis_cores"] == 8
+
+    print("\n" + result.to_text())
+
+
+def test_bench_heuristic(benchmark):
+    """Time the §3.4 heuristic end to end (sweep + selection)."""
+    choice = benchmark(heuristic_choice)
+    assert choice.cores == 8

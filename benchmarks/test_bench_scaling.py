@@ -1,0 +1,23 @@
+"""Benchmark: ensemble-size scaling (extension of the paper's N=2).
+
+Asserts member independence under the co-located placement and the
+placement's dominance at every ensemble size.
+"""
+
+from repro.experiments.scaling import run_scaling
+
+
+def test_bench_scaling(benchmark):
+    result = benchmark(lambda: run_scaling(member_counts=(1, 2, 4, 8, 16)))
+
+    packed = [r for r in result.rows if r["placement"] == "co-located"]
+    spread = [r for r in result.rows if r["placement"] == "spread"]
+
+    spans = [r["ensemble_makespan"] for r in packed]
+    assert max(spans) - min(spans) < 1e-6 * spans[0]
+
+    for p, s in zip(packed, spread):
+        assert p["objective_F"] > s["objective_F"]
+        assert p["ensemble_makespan"] < s["ensemble_makespan"]
+
+    print("\n" + result.to_text())

@@ -1,0 +1,78 @@
+"""Benchmark: indicator-guided scheduling (the paper's future work).
+
+Times the greedy indicator policy against exhaustive search and the
+baselines, asserting (a) greedy matches the exhaustive optimum on the
+paper-scale problem while evaluating far fewer candidates, and (b) both
+dominate the locality-unaware baselines.
+"""
+
+from repro.runtime.spec import EnsembleSpec, default_member
+from repro.scheduler.objectives import score_placement
+from repro.scheduler.planner import ResourceConstrainedPlanner
+from repro.scheduler.policies import (
+    ExhaustiveSearchPolicy,
+    GreedyIndicatorPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+)
+
+
+def _spec():
+    return EnsembleSpec(
+        "sched-bench",
+        (
+            default_member("em1", num_analyses=2, n_steps=5),
+            default_member("em2", num_analyses=2, n_steps=5),
+        ),
+    )
+
+
+def test_bench_greedy_scheduler(benchmark):
+    spec = _spec()
+    greedy = GreedyIndicatorPolicy()
+
+    placement = benchmark(lambda: greedy.place(spec, 3, 32))
+
+    g_score = score_placement(spec, placement)
+    e_score = score_placement(
+        spec, ExhaustiveSearchPolicy().place(spec, 3, 32)
+    )
+    rr_score = score_placement(spec, RoundRobinPolicy().place(spec, 3, 32))
+    rnd_score = score_placement(
+        spec, RandomPolicy(seed=5).place(spec, 3, 32)
+    )
+
+    assert abs(g_score.objective - e_score.objective) < 1e-12
+    assert g_score.objective > rr_score.objective
+    assert g_score.objective > rnd_score.objective
+
+    print(
+        f"\ngreedy F={g_score.objective:.5f} == exhaustive "
+        f"F={e_score.objective:.5f} > round-robin "
+        f"F={rr_score.objective:.5f}, random F={rnd_score.objective:.5f}"
+    )
+
+
+def test_bench_exhaustive_scheduler(benchmark):
+    spec = _spec()
+    exhaustive = ExhaustiveSearchPolicy()
+    benchmark(lambda: exhaustive.place(spec, 3, 32))
+    greedy = GreedyIndicatorPolicy()
+    greedy.place(spec, 3, 32)
+    assert greedy.evaluated < exhaustive.evaluated / 3
+    print(
+        f"\ncandidates evaluated: greedy {greedy.evaluated}, "
+        f"exhaustive {exhaustive.evaluated}"
+    )
+
+
+def test_bench_planner(benchmark):
+    spec = _spec()
+    planner = ResourceConstrainedPlanner()
+
+    plan = benchmark(lambda: planner.plan(spec, num_nodes=4))
+
+    assert plan.analysis_cores == 8
+    assert plan.placement.num_nodes == 2  # compacted to what's needed
+    for mp in plan.placement.members:
+        assert all(n == mp.simulation_node for n in mp.analysis_nodes)

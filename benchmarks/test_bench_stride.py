@@ -1,0 +1,27 @@
+"""Benchmark: the stride sweep (extension of the §3.4 parameter study).
+
+Asserts that the paper's stride of 800 is the smallest swept stride
+reaching the Idle Analyzer regime — the operating point its analysis
+core choice implies — and that amortized per-MD-step cost plateaus
+beyond it.
+"""
+
+from repro.experiments.stride import (
+    run_stride_sweep,
+    smallest_idle_analyzer_stride,
+)
+
+
+def test_bench_stride_sweep(benchmark):
+    result = benchmark(run_stride_sweep)
+
+    assert smallest_idle_analyzer_stride(result) == 800
+    per_step = {
+        row["stride"]: row["seconds_per_md_step"] for row in result.rows
+    }
+    # the plateau: no meaningful gain past the paper's stride
+    assert abs(per_step[3200] - per_step[800]) / per_step[800] < 0.01
+    # and real loss below it
+    assert per_step[400] > 1.5 * per_step[800]
+
+    print("\n" + result.to_text())

@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the substrate layers.
+
+Not paper artifacts — these track the performance of the building
+blocks (DES engine, contention assessment, chunk marshaling, MD step,
+eigenvalue kernel) so regressions in the substrates are visible
+independently of the experiment harness.
+"""
+
+import numpy as np
+
+from repro.components.kernels.eigen import largest_singular_value
+from repro.components.md.engine import MDEngine
+from repro.components.profiles import analysis_profile, simulation_profile
+from repro.des.engine import Environment
+from repro.des.store import Store
+from repro.dtl.chunk import Chunk, ChunkKey
+from repro.platform.specs import make_cori_like_cluster
+
+
+def test_bench_des_event_throughput(benchmark):
+    """Producer/consumer pair exchanging 2000 items through a Store."""
+
+    def run():
+        env = Environment()
+        store = Store(env)
+
+        def producer(env, store):
+            for i in range(2000):
+                yield env.timeout(0.001)
+                yield store.put(i)
+
+        def consumer(env, store):
+            for _ in range(2000):
+                yield store.get()
+
+        env.process(producer(env, store))
+        done = env.process(consumer(env, store))
+        env.run(until=done)
+        return env.now
+
+    now = benchmark(run)
+    assert now > 0
+
+
+def test_bench_contention_assessment(benchmark):
+    """Assess a fully packed node (the executor's hot path)."""
+    cluster = make_cori_like_cluster(1)
+    node = cluster.node(0)
+    node.allocate("sim", 16, simulation_profile("sim"))
+    node.allocate("ana1", 8, analysis_profile("ana1"))
+    node.allocate("ana2", 8, analysis_profile("ana2"))
+
+    out = benchmark(lambda: node.assess(cluster.contention))
+    assert set(out) == {"sim", "ana1", "ana2"}
+
+
+def test_bench_chunk_roundtrip(benchmark):
+    """Serialize + deserialize a 3 MB frame (the paper's chunk size)."""
+    payload = np.random.default_rng(0).normal(size=(250_000, 3)).astype(
+        np.float32
+    )
+    chunk = Chunk(ChunkKey("sim", 0), payload, {"atoms": 250_000})
+
+    back = benchmark(lambda: Chunk.deserialize(chunk.serialize()))
+    assert back == chunk
+
+
+def test_bench_md_step(benchmark):
+    """One strided MD emission (10 steps) of a 500-particle LJ system."""
+    engine = MDEngine(natoms=500, stride=10, seed=0)
+    engine.equilibrate(10)
+
+    frame = benchmark(lambda: next(engine.frames(1)))
+    assert frame.natoms == 500
+
+
+def test_bench_eigen_kernel(benchmark):
+    """Largest singular value of a 200x200 contact-like matrix."""
+    rng = np.random.default_rng(1)
+    matrix = 1.0 / (1.0 + np.exp(rng.normal(size=(200, 200))))
+
+    sigma = benchmark(lambda: largest_singular_value(matrix, tol=1e-8))
+    assert sigma > 0

@@ -1,0 +1,36 @@
+"""Benchmark: the staging-tier x placement matrix.
+
+Asserts the tier-contingency result: in-memory staging wins only with
+co-location; placement-insensitive tiers flip the winner to the
+co-location-free baseline; contention (C1.4) dominates on every tier.
+"""
+
+from repro.experiments.tiers import best_placement_per_tier, run_tier_matrix
+
+
+def test_bench_tier_matrix(benchmark, bench_settings):
+    result = benchmark(lambda: run_tier_matrix(**bench_settings))
+
+    winners = best_placement_per_tier(result)
+    assert winners["in-memory"] in ("Cc", "C1.5")
+    assert winners["burst-buffer"] == "Cf"
+    assert winners["parallel-fs"] == "Cf"
+
+    # co-located placements are nearly tier-invariant
+    cc = {
+        row["tier"]: row["ensemble_makespan"]
+        for row in result.rows
+        if row["configuration"] == "Cc"
+    }
+    assert max(cc.values()) / min(cc.values()) < 1.01
+
+    # contention dominates on every tier: C1.4 is always worst
+    for tier in ("in-memory", "burst-buffer", "parallel-fs"):
+        rows = {
+            row["configuration"]: row["ensemble_makespan"]
+            for row in result.rows
+            if row["tier"] == tier
+        }
+        assert max(rows, key=rows.get) == "C1.4"
+
+    print("\n" + result.to_text())

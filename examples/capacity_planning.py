@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Capacity planning with the §3.4 heuristic, across staging tiers.
+
+Given a simulation whose settings the scientist fixed (16 cores,
+stride 800), how many cores should each in situ analysis get? The
+paper's heuristic picks the count that keeps every coupling in the
+Idle Analyzer regime (Eq. 4) while maximizing the computational
+efficiency E. This example runs the sweep (the paper's Figure 7),
+renders it as an ASCII chart, and repeats the exercise over the three
+staging tiers to show how slower tiers shift the feasible region.
+
+Run:
+    python examples/capacity_planning.py
+"""
+
+from repro.components.analysis import EigenAnalysisModel
+from repro.components.simulation import MDSimulationModel
+from repro.core.heuristic import choose_analysis_cores
+from repro.core.stages import MemberStages
+from repro.dtl.burstbuffer import BurstBufferDTL
+from repro.dtl.dimes import InMemoryStagingDTL
+from repro.dtl.pfs import ParallelFilesystemDTL
+from repro.platform.specs import make_cori_like_cluster
+from repro.runtime.analytic import predict_member_stages
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec, MemberSpec
+
+CORE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def evaluator_for(dtl_factory):
+    """Stage evaluator in the co-location-free baseline placement."""
+
+    def evaluate(cores: int) -> MemberStages:
+        sim = MDSimulationModel("sim", cores=16)
+        ana = EigenAnalysisModel("ana", cores=cores)
+        spec = EnsembleSpec(
+            "plan", (MemberSpec("member", sim, (ana,), n_steps=1),)
+        )
+        placement = EnsemblePlacement(2, (MemberPlacement(0, (1,)),))
+        cluster = make_cori_like_cluster(2)
+        dtl = dtl_factory(cluster)
+        return predict_member_stages(
+            spec, placement, cluster=cluster, dtl=dtl
+        )["member"]
+
+    return evaluate
+
+
+def ascii_bar(value: float, scale: float, width: int = 40) -> str:
+    filled = int(round(width * value / scale))
+    return "#" * min(filled, width)
+
+
+def main() -> None:
+    tiers = {
+        "in-memory (DIMES-like)": lambda cl: InMemoryStagingDTL(
+            network=cl.network,
+            memory_bandwidth=cl.node_spec.memory_bandwidth,
+        ),
+        "burst buffer": lambda cl: BurstBufferDTL(),
+        "parallel filesystem": lambda cl: ParallelFilesystemDTL(
+            aggregate_bandwidth=2e9, metadata_latency=0.05
+        ),
+    }
+
+    for tier_name, factory in tiers.items():
+        choice = choose_analysis_cores(evaluator_for(factory), CORE_COUNTS)
+        print(f"\n=== staging tier: {tier_name} ===")
+        print("cores  sigma*       R*+A* vs S*+W*          E      feasible")
+        scale = max(p.analysis_active for p in choice.sweep)
+        for p in choice.sweep:
+            marker = "<= chosen" if p.cores == choice.cores else ""
+            print(
+                f"{p.cores:5d}  {p.sigma:7.2f}s  "
+                f"{ascii_bar(p.analysis_active, scale):40s}  "
+                f"{p.efficiency:5.3f}  {str(p.feasible):5s} {marker}"
+            )
+        print(
+            f"heuristic: {choice.cores} cores per analysis "
+            f"(E = {choice.point.efficiency:.3f}, "
+            f"sigma* = {choice.point.sigma:.2f}s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""A heterogeneous ensemble member: distinct analyses on one simulation.
+
+The paper's framework supports coupling *different* analyses to one
+simulation (§3.4); its Figure 6 shows the general case where couplings
+sit in different regimes. This example demonstrates both halves of the
+library on that scenario:
+
+1. **Real data** — one mini-MD simulation feeds two distinct real
+   analyses through the DTL: the spectral collective variable and the
+   structural analyzer (RMSD + radius of gyration), each reading the
+   same staged frame.
+2. **Model** — the same member shape goes through the executor with a
+   slow and a fast analysis, showing one coupling in Idle Simulation
+   and the other in Idle Analyzer, with the per-coupling efficiency
+   breakdown of Eq. 3.
+
+Run:
+    python examples/heterogeneous_member.py
+"""
+
+from repro.components.kernels.cv import CollectiveVariableAnalyzer
+from repro.components.kernels.structure import StructureAnalyzer
+from repro.components.md.engine import MDEngine
+from repro.dtl.dimes import InMemoryStagingDTL
+from repro.dtl.plugin import DTLPlugin
+from repro.experiments.heterogeneous import run_heterogeneous
+
+
+def real_data_half() -> None:
+    print("== real data: one frame, two distinct analyses ==")
+    engine = MDEngine(natoms=108, stride=10, seed=5)
+    engine.equilibrate(50)
+
+    dtl = InMemoryStagingDTL()
+    producer = DTLPlugin(dtl, component="sim", node=0)
+    cv_reader = DTLPlugin(dtl, component="cv", node=0)
+    struct_reader = DTLPlugin(dtl, component="struct", node=0)
+
+    cv = CollectiveVariableAnalyzer()
+    struct = StructureAnalyzer()
+
+    print("frame   lambda_max     RMSD      Rg")
+    for frame in engine.frames(6):
+        receipt = producer.stage_out(
+            frame.positions,
+            {"box_length": frame.box_length},
+            expected_consumers=2,  # both analyses read this chunk
+        )
+        payload_cv, meta, _ = cv_reader.stage_in("sim", receipt.key.step)
+        payload_st, _, _ = struct_reader.stage_in("sim", receipt.key.step)
+
+        cv_value = cv.analyze(payload_cv, meta["box_length"]).value
+        rmsd_value, rg = struct.analyze(payload_st.astype(float))
+        print(
+            f"  {frame.index}     {cv_value:8.4f}  {rmsd_value:8.4f}  "
+            f"{rg:7.4f}"
+        )
+    print(
+        f"\nstaged {dtl.bytes_staged_total} bytes, served "
+        f"{dtl.reads_served_total} reads, live slots: {dtl.live_slots}"
+    )
+
+
+def model_half() -> None:
+    print("\n== model: mixed coupling regimes (Figure 6 scenario) ==")
+    result = run_heterogeneous(slow_cores=4, fast_cores=16, n_steps=8)
+    print(result.to_text())
+    print(
+        "\nThe slow coupling (4 cores) outlasts the simulation step "
+        "(Idle Simulation); the fast one (16 cores) finishes early and "
+        "waits (Idle Analyzer). The member's period is set by the slow "
+        "coupling, so over-provisioning the fast analysis only buys "
+        "idle time — exactly why the §3.4 heuristic right-sizes "
+        "analyses instead of maximizing their cores."
+    )
+
+
+if __name__ == "__main__":
+    real_data_half()
+    model_half()

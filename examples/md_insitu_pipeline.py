@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Real-data in situ pipeline: MD engine -> DTL -> spectral analysis.
+
+The in-process analogue of the paper's GROMACS + DIMES + eigenvalue
+stack: a real Lennard-Jones MD simulation emits frames every ``stride``
+steps; each frame is marshaled into a chunk (real serialization with
+CRC), staged through the DIMES-like in-memory store under the
+no-buffering protocol, and consumed by the real collective-variable
+analysis (bipartite contact matrix -> largest singular value).
+
+The same loop is run with the consumer co-located and remote, and the
+simulated staging costs are compared — the data-locality effect at the
+heart of the paper.
+
+Run:
+    python examples/md_insitu_pipeline.py
+"""
+
+from repro.components.kernels.cv import CollectiveVariableAnalyzer
+from repro.components.md.engine import MDEngine
+from repro.dtl.dimes import InMemoryStagingDTL
+from repro.dtl.plugin import DTLPlugin
+from repro.util.units import format_bytes, format_time
+
+N_FRAMES = 8
+
+
+def run_pipeline(consumer_node: int) -> dict:
+    """One full in situ run; returns cost totals and the CV series."""
+    engine = MDEngine(natoms=256, stride=10, seed=42)
+    engine.equilibrate(50)
+
+    dtl = InMemoryStagingDTL()
+    producer = DTLPlugin(dtl, component="sim", node=0)
+    consumer = DTLPlugin(dtl, component="ana", node=consumer_node)
+    analyzer = CollectiveVariableAnalyzer()
+
+    totals = {"write": 0.0, "read": 0.0, "producer_tax": 0.0, "bytes": 0}
+    for frame in engine.frames(N_FRAMES):
+        receipt = producer.stage_out(
+            frame.positions,
+            {"box_length": frame.box_length, "T": frame.temperature},
+        )
+        totals["write"] += receipt.cost.total
+        totals["bytes"] += receipt.nbytes
+
+        payload, meta, read_receipt = consumer.stage_in(
+            "sim", receipt.key.step
+        )
+        totals["read"] += read_receipt.cost.total
+        totals["producer_tax"] += read_receipt.cost.producer_overhead
+
+        analyzer.analyze(payload, meta["box_length"], frame.index)
+
+    totals["cv"] = analyzer.trajectory
+    return totals
+
+
+def main() -> None:
+    print(f"Running {N_FRAMES} in situ steps of a 256-particle LJ system\n")
+    local = run_pipeline(consumer_node=0)
+    remote = run_pipeline(consumer_node=1)
+
+    print(f"frames staged: {N_FRAMES}, {format_bytes(local['bytes'])} total")
+    print("\n                      co-located      remote")
+    print(
+        f"  write cost       {format_time(local['write']):>12} "
+        f"{format_time(remote['write']):>12}"
+    )
+    print(
+        f"  read cost        {format_time(local['read']):>12} "
+        f"{format_time(remote['read']):>12}"
+    )
+    print(
+        f"  producer tax     {format_time(local['producer_tax']):>12} "
+        f"{format_time(remote['producer_tax']):>12}"
+    )
+    speedup = remote["read"] / local["read"]
+    print(f"\nco-located reads are {speedup:.1f}x cheaper (DIMES data locality)")
+
+    print("\ncollective variable along the trajectory (identical either way):")
+    for i, v in enumerate(local["cv"]):
+        print(f"  frame {i}: lambda_max = {v:.4f}")
+    assert (local["cv"] == remote["cv"]).all()
+
+
+if __name__ == "__main__":
+    main()

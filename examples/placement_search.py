@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Placement search: rank every feasible placement with the indicator.
+
+The paper's conclusion proposes using the performance indicators for
+scheduling. This example does exactly that: it enumerates every
+feasible placement of a two-member ensemble (one simulation + two
+analyses each — the Table 4 shape) over 2 and 3 Cori-like nodes,
+scores each with F(P^{U,A,P}) via the fast analytic predictor, and
+cross-checks the indicator's top choice against the placement with the
+best predicted ensemble makespan.
+
+Run:
+    python examples/placement_search.py
+"""
+
+from repro.configs.generator import enumerate_placements
+from repro.core import (
+    IndicatorStage,
+    MemberMeasurement,
+    apply_stages,
+    member_makespan,
+    non_overlapped_segment,
+    objective_function,
+)
+from repro.platform.specs import make_cori_like_cluster
+from repro.runtime.analytic import predict_member_stages
+from repro.runtime.spec import EnsembleSpec, default_member
+
+ORDER = (
+    IndicatorStage.USAGE,
+    IndicatorStage.ALLOCATION,
+    IndicatorStage.PROVISIONING,
+)
+
+
+def describe(placement) -> str:
+    return " | ".join(
+        f"sim@n{mp.simulation_node} ana@{list(mp.analysis_nodes)}"
+        for mp in placement.members
+    )
+
+
+def main() -> None:
+    spec = EnsembleSpec(
+        "search",
+        (
+            default_member("em1", num_analyses=2, n_steps=37),
+            default_member("em2", num_analyses=2, n_steps=37),
+        ),
+    )
+
+    scored = []
+    for num_nodes in (2, 3):
+        cluster = make_cori_like_cluster(num_nodes)
+        for placement in enumerate_placements(spec, num_nodes, 32):
+            stages = predict_member_stages(spec, placement, cluster=cluster)
+            indicators = []
+            worst_makespan = 0.0
+            for member_spec, mp in zip(spec.members, placement.members):
+                member_stages = stages[member_spec.name]
+                measurement = MemberMeasurement(
+                    member_spec.name,
+                    member_stages,
+                    member_spec.total_cores,
+                    mp.to_placement_sets(),
+                )
+                indicators.append(
+                    apply_stages(measurement, ORDER, num_nodes)
+                )
+                worst_makespan = max(
+                    worst_makespan,
+                    member_makespan(member_stages, member_spec.n_steps),
+                )
+            scored.append(
+                (
+                    objective_function(indicators),
+                    worst_makespan,
+                    num_nodes,
+                    placement,
+                )
+            )
+
+    print(f"evaluated {len(scored)} feasible placements\n")
+    scored.sort(key=lambda s: -s[0])
+
+    print("top 5 by F(P^{U,A,P}):")
+    for f, makespan, nodes, placement in scored[:5]:
+        print(
+            f"  F={f:.5f}  makespan={makespan:7.1f}s  nodes={nodes}  "
+            f"{describe(placement)}"
+        )
+    print("\nbottom 3:")
+    for f, makespan, nodes, placement in scored[-3:]:
+        print(
+            f"  F={f:.5f}  makespan={makespan:7.1f}s  nodes={nodes}  "
+            f"{describe(placement)}"
+        )
+
+    best_by_f = scored[0]
+    best_by_makespan = min(scored, key=lambda s: s[1])
+    print(f"\nindicator's choice:      {describe(best_by_f[3])}")
+    print(f"fastest (min makespan):  {describe(best_by_makespan[3])}")
+    print(
+        "\nnote how the indicator's winner fully co-locates each member "
+        "(the paper's C2.8 pattern) AND uses the fewest nodes — it "
+        "balances speed against resources, which pure makespan ignores."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Reproduce every table and figure of the paper in one run.
+
+Prints the regenerated data behind Figures 3, 4, 5, 7, 8 and 9, the
+headline improvement spread, and the three design ablations. Expect a
+few seconds of runtime at the paper's 5-trial protocol.
+
+Run:
+    python examples/reproduce_paper.py            # full protocol
+    python examples/reproduce_paper.py --fast     # quick smoke pass
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    run_contention_ablation,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_headline,
+    run_locality_ablation,
+    run_tax_ablation,
+)
+from repro.experiments.headline import run_headline_extended
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    kwargs = dict(trials=2, n_steps=6) if fast else {}
+
+    t0 = time.time()
+    experiments = [
+        run_fig3(**kwargs),
+        run_fig4(**kwargs),
+        run_fig5(**kwargs),
+        run_fig7(),
+        run_fig8(**kwargs),
+        run_fig9(**kwargs),
+        run_headline(**kwargs),
+        run_headline_extended(),
+        run_contention_ablation(**kwargs),
+        run_locality_ablation(**kwargs),
+        run_tax_ablation(**kwargs),
+    ]
+    for result in experiments:
+        print(result.to_text())
+        print()
+    print(f"regenerated {len(experiments)} artifacts in "
+          f"{time.time() - t0:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `python setup.py develop` on hosts without the
+`wheel` package (offline environments where PEP 660 editable installs
+are unavailable). Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""repro: reproduction of *Assessing Resource Provisioning and
+Allocation of Ensembles of In Situ Workflows* (Do, Pottier, Ferreira da
+Silva, Caíno-Lores, Taufer, Deelman — ICPP Workshops 2021).
+
+The library has three layers:
+
+1. **Substrates** — everything the paper's evaluation ran on, rebuilt
+   as simulators or miniature real implementations:
+   :mod:`repro.des` (discrete-event engine), :mod:`repro.platform`
+   (Cori-like nodes, caches, dragonfly network, contention model),
+   :mod:`repro.dtl` (DIMES-like in-memory staging, burst buffer,
+   parallel FS, chunk serialization), :mod:`repro.components`
+   (MD-simulation and analysis cost models plus a real mini-MD engine
+   and real eigenvalue analysis kernels), :mod:`repro.runtime`
+   (synchronous coupling protocol, executor), and
+   :mod:`repro.monitoring` (stage traces, synthetic counters, Table-1
+   metrics).
+
+2. **The paper's contribution** — :mod:`repro.core`: the in situ
+   execution model (Eqs. 1-2), computational efficiency (Eq. 3), the
+   multi-stage performance indicators (Eqs. 5-8), the ensemble
+   objective (Eq. 9), and the §3.4 provisioning heuristic.
+
+3. **Evaluation** — :mod:`repro.configs` (Tables 2 and 4) and
+   :mod:`repro.experiments` (one module per figure plus headline and
+   ablations).
+
+Quick start::
+
+    from repro import run_configuration, table2_config, IndicatorStage
+
+    result = run_configuration(table2_config("C1.5"))
+    print(result.ensemble_makespan)
+    print(result.objective([IndicatorStage.USAGE,
+                            IndicatorStage.ALLOCATION,
+                            IndicatorStage.PROVISIONING]))
+"""
+
+from repro.configs.base import Configuration, build_spec
+from repro.configs.table2 import get_config as table2_config
+from repro.configs.table4 import get_config as table4_config
+from repro.core import (
+    AnalysisStages,
+    CouplingRegime,
+    IndicatorStage,
+    MemberMeasurement,
+    MemberStages,
+    PlacementSets,
+    SimulationStages,
+    apply_stages,
+    choose_analysis_cores,
+    computational_efficiency,
+    member_makespan,
+    non_overlapped_segment,
+    objective_function,
+    placement_indicator,
+    rank_by_objective,
+)
+from repro.experiments.base import run_configuration, run_configuration_trials
+from repro.runtime import (
+    EnsemblePlacement,
+    EnsembleSpec,
+    ExecutionResult,
+    MemberPlacement,
+    MemberSpec,
+    predict_member_stages,
+    run_ensemble,
+)
+from repro.runtime.spec import default_member
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisStages",
+    "Configuration",
+    "CouplingRegime",
+    "EnsemblePlacement",
+    "EnsembleSpec",
+    "ExecutionResult",
+    "IndicatorStage",
+    "MemberMeasurement",
+    "MemberPlacement",
+    "MemberSpec",
+    "MemberStages",
+    "PlacementSets",
+    "SimulationStages",
+    "__version__",
+    "apply_stages",
+    "build_spec",
+    "choose_analysis_cores",
+    "computational_efficiency",
+    "default_member",
+    "member_makespan",
+    "non_overlapped_segment",
+    "objective_function",
+    "placement_indicator",
+    "predict_member_stages",
+    "rank_by_objective",
+    "run_configuration",
+    "run_configuration_trials",
+    "run_ensemble",
+    "table2_config",
+    "table4_config",
+]

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run <config>``
+    Execute one paper configuration (Cf, Cc, C1.1-C1.5, C2.1-C2.8) and
+    print the full summary report plus an ASCII Gantt chart.
+``figures [--fast]``
+    Regenerate every figure/table of the paper and print the data.
+``sweep``
+    Run the §3.4 analysis-core sweep and print the heuristic's choice.
+``plan --members N --analyses K --nodes M``
+    Run the resource-constrained planner and print the resulting plan.
+``list``
+    List the available configurations with their placements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.configs.base import build_spec
+from repro.configs.table2 import TABLE2_CONFIGS
+from repro.configs.table4 import TABLE4_CONFIGS
+from repro.monitoring.report import gantt, summary_report
+from repro.runtime.runner import run_ensemble
+from repro.util.errors import ReproError
+
+ALL_CONFIGS = {**TABLE2_CONFIGS, **TABLE4_CONFIGS}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("available configurations (paper Tables 2 and 4):")
+    for name, config in ALL_CONFIGS.items():
+        members = ", ".join(
+            f"(sim@n{m.simulation_node}, ana@{list(m.analysis_nodes)})"
+            for m in config.members
+        )
+        print(f"  {name:5s} nodes={config.num_nodes}  {members}")
+        print(f"        {config.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ALL_CONFIGS.get(args.config)
+    if config is None:
+        print(
+            f"unknown configuration {args.config!r}; "
+            f"valid: {sorted(ALL_CONFIGS)}",
+            file=sys.stderr,
+        )
+        return 2
+    spec = build_spec(config, n_steps=args.steps)
+    result = run_ensemble(
+        spec,
+        config.placement(),
+        seed=args.seed,
+        timing_noise=args.noise,
+    )
+    print(summary_report(result))
+    print()
+    print(gantt(result.tracer, width=args.width))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.configs.base import build_spec
+    from repro.runtime.compare import compare_placements, render_comparison
+
+    names = args.configs or ["C1.1", "C1.2", "C1.3", "C1.4", "C1.5"]
+    unknown = [n for n in names if n not in ALL_CONFIGS]
+    if unknown:
+        print(f"unknown configurations: {unknown}", file=sys.stderr)
+        return 2
+    configs = [ALL_CONFIGS[n] for n in names]
+    k = {c.num_analyses_per_member for c in configs}
+    n = {c.num_members for c in configs}
+    if len(k) != 1 or len(n) != 1:
+        print(
+            "compared configurations must share member/analysis counts",
+            file=sys.stderr,
+        )
+        return 2
+    spec = build_spec(configs[0], n_steps=args.steps)
+    candidates = {c.name: c.placement() for c in configs}
+    results = compare_placements(spec, candidates)
+    print(render_comparison(results))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        run_contention_ablation,
+        run_fig3,
+        run_fig4,
+        run_fig5,
+        run_fig7,
+        run_fig8,
+        run_fig9,
+        run_headline,
+        run_locality_ablation,
+        run_tax_ablation,
+    )
+    from repro.experiments.headline import run_headline_extended
+
+    kwargs = dict(trials=2, n_steps=6) if args.fast else {}
+    artifacts = [
+        run_fig3(**kwargs),
+        run_fig4(**kwargs),
+        run_fig5(**kwargs),
+        run_fig7(),
+        run_fig8(**kwargs),
+        run_fig9(**kwargs),
+        run_headline(**kwargs),
+        run_headline_extended(),
+        run_contention_ablation(**kwargs),
+        run_locality_ablation(**kwargs),
+        run_tax_ablation(**kwargs),
+    ]
+    for artifact in artifacts:
+        print(artifact.to_text())
+        print()
+    if args.output:
+        import pathlib
+
+        outdir = pathlib.Path(args.output)
+        outdir.mkdir(parents=True, exist_ok=True)
+        for artifact in artifacts:
+            artifact.save(outdir / f"{artifact.experiment_id}.json")
+        print(f"saved {len(artifacts)} JSON artifacts to {outdir}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.fig7 import run_fig7
+
+    result = run_fig7(
+        sim_cores=args.sim_cores, stride=args.stride, natoms=args.natoms
+    )
+    print(result.to_text())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.runtime.spec import EnsembleSpec, default_member
+    from repro.scheduler.planner import ResourceConstrainedPlanner
+
+    spec = EnsembleSpec(
+        "cli-plan",
+        tuple(
+            default_member(
+                f"em{i + 1}", num_analyses=args.analyses, n_steps=args.steps
+            )
+            for i in range(args.members)
+        ),
+    )
+    plan = ResourceConstrainedPlanner().plan(spec, num_nodes=args.nodes)
+    print(
+        f"plan: {args.members} members x (16-core sim + "
+        f"{args.analyses} x {plan.analysis_cores}-core analyses) on "
+        f"{plan.placement.num_nodes} nodes (budget {args.nodes})"
+    )
+    for member, mp in zip(plan.spec.members, plan.placement.members):
+        print(
+            f"  {member.name}: sim@n{mp.simulation_node}, "
+            f"analyses@{list(mp.analysis_nodes)}"
+        )
+    print(
+        f"predicted F(P^{{U,A,P}}) = {plan.score.objective:.6f}, "
+        f"ensemble makespan = {plan.score.ensemble_makespan:.1f} s"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Workflow-ensemble performance indicators "
+        "(ICPP Workshops '21 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available configurations")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="execute one configuration")
+    p_run.add_argument("config", help="configuration name (e.g. C1.5)")
+    p_run.add_argument("--steps", type=int, default=12)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--noise", type=float, default=0.02)
+    p_run.add_argument("--width", type=int, default=80)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_figs = sub.add_parser("figures", help="regenerate all paper artifacts")
+    p_figs.add_argument("--fast", action="store_true")
+    p_figs.add_argument(
+        "--output", help="directory to also save JSON artifacts into"
+    )
+    p_figs.set_defaults(func=_cmd_figures)
+
+    p_cmp = sub.add_parser(
+        "compare", help="rank configurations with the indicator"
+    )
+    p_cmp.add_argument(
+        "configs",
+        nargs="*",
+        help="configuration names (default: C1.1-C1.5)",
+    )
+    p_cmp.add_argument("--steps", type=int, default=37)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_sweep = sub.add_parser("sweep", help="run the §3.4 core sweep")
+    p_sweep.add_argument("--sim-cores", type=int, default=16)
+    p_sweep.add_argument("--stride", type=int, default=800)
+    p_sweep.add_argument("--natoms", type=int, default=250_000)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_plan = sub.add_parser("plan", help="resource-constrained planning")
+    p_plan.add_argument("--members", type=int, default=2)
+    p_plan.add_argument("--analyses", type=int, default=1)
+    p_plan.add_argument("--nodes", type=int, default=2)
+    p_plan.add_argument("--steps", type=int, default=37)
+    p_plan.set_defaults(func=_cmd_plan)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

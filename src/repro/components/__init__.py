@@ -1,0 +1,49 @@
+"""Ensemble components: simulations and analyses.
+
+Two parallel implementations of the paper's application live here:
+
+- **Analytic cost models** (:mod:`repro.components.simulation`,
+  :mod:`repro.components.analysis`) — Amdahl-scaled stage-time models
+  with micro-architectural :class:`~repro.platform.WorkloadProfile`\\ s,
+  calibrated so that the default member (GROMACS-like simulation of a
+  250k-atom GltPh-like system at stride 800 on 16 cores, coupled with a
+  largest-eigenvalue analysis on 8 cores) reproduces the regime of the
+  paper's experiments. These drive the discrete-event executor.
+
+- **Real miniature kernels** (:mod:`repro.components.md`,
+  :mod:`repro.components.kernels`) — an actual Lennard-Jones molecular
+  dynamics engine (cell lists, velocity Verlet, thermostat) and the
+  actual analysis computation the paper uses (bipartite contact matrix
+  between atom groups, largest eigenvalue as a collective variable).
+  The in-process examples run real frames through the real DTL.
+"""
+
+from repro.components.base import ComponentKind, ComponentModel, ComponentSpec
+from repro.components.analysis import EigenAnalysisModel
+from repro.components.calibration import (
+    AnalysisSample,
+    FitReport,
+    SimulationSample,
+    fit_analysis_model,
+    fit_simulation_model,
+)
+from repro.components.profiles import (
+    analysis_profile,
+    simulation_profile,
+)
+from repro.components.simulation import MDSimulationModel
+
+__all__ = [
+    "AnalysisSample",
+    "ComponentKind",
+    "ComponentModel",
+    "ComponentSpec",
+    "EigenAnalysisModel",
+    "FitReport",
+    "MDSimulationModel",
+    "SimulationSample",
+    "analysis_profile",
+    "fit_analysis_model",
+    "fit_simulation_model",
+    "simulation_profile",
+]

@@ -1,0 +1,92 @@
+"""Analytic model of the in situ analysis component.
+
+The paper's analysis "computes the largest eigenvalue of bipartite
+matrices as a collective variable of the frames" (Johnston et al.
+2017). Per frame it builds a bipartite distance/contact matrix between
+two atom groups and extracts the dominant eigenvalue — dense linear
+algebra streaming over matrices much larger than cache, hence the
+data-intensive profile.
+
+The default calibration places the solo 8-core analysis step at ~82% of
+the simulation step (about 12.9 s vs 14.7 s), reproducing the operating
+point chosen in the paper's §3.4: at 1-4 cores the analysis is slower
+than the simulation (Idle Simulation regime); from 8 cores on the
+member sits in the Idle Analyzer regime, and 8 cores maximizes the
+computational efficiency E.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.components.base import (
+    ComponentKind,
+    ComponentModel,
+    ComponentSpec,
+    amdahl_time,
+)
+from repro.components.profiles import analysis_profile
+from repro.components.simulation import BYTES_PER_ATOM_FRAME
+from repro.platform.contention import WorkloadProfile
+from repro.util.validation import (
+    require_in_range,
+    require_positive,
+    require_positive_int,
+)
+
+
+class EigenAnalysisModel(ComponentModel):
+    """Cost model of one largest-eigenvalue analysis kernel.
+
+    Parameters
+    ----------
+    name:
+        Component name (unique within the workflow ensemble).
+    cores:
+        Physical cores allocated (8 in the paper's experiments).
+    natoms:
+        Atoms per frame received from the coupled simulation.
+    single_core_time:
+        Wall time of one analysis step on one core. The default (61 s)
+        yields ~13 s at 8 cores with the default serial fraction.
+    serial_fraction:
+        Amdahl serial fraction (reduction and power-iteration sync).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cores: int = 8,
+        natoms: int = 250_000,
+        single_core_time: float = 61.0,
+        serial_fraction: float = 0.10,
+        profile: Optional[WorkloadProfile] = None,
+    ) -> None:
+        spec = ComponentSpec(name=name, kind=ComponentKind.ANALYSIS, cores=cores)
+        super().__init__(spec, profile or analysis_profile(name))
+        self.natoms = require_positive_int("natoms", natoms)
+        self.single_core_time = require_positive(
+            "single_core_time", single_core_time
+        )
+        self.serial_fraction = require_in_range(
+            "serial_fraction", serial_fraction, 0.0, 1.0
+        )
+
+    def solo_compute_time(self) -> float:
+        """Duration of the A stage at the allocated core count."""
+        return amdahl_time(self.single_core_time, self.serial_fraction, self.cores)
+
+    def payload_bytes(self) -> int:
+        """The frame this analysis reads each in situ step."""
+        return self.natoms * BYTES_PER_ATOM_FRAME
+
+    def with_cores(self, cores: int) -> "EigenAnalysisModel":
+        """Clone at a different core count (used by the §3.4 sweep)."""
+        return EigenAnalysisModel(
+            name=self.name,
+            cores=cores,
+            natoms=self.natoms,
+            single_core_time=self.single_core_time,
+            serial_fraction=self.serial_fraction,
+            profile=self.profile,
+        )

@@ -1,0 +1,90 @@
+"""Component base types.
+
+A *component* is one executable of an ensemble member: the simulation
+or one of its analyses. A :class:`ComponentModel` provides what the
+executor needs to simulate it: solo stage durations (Amdahl-scaled by
+core count), the staged payload size, and the micro-architectural
+:class:`~repro.platform.contention.WorkloadProfile` that the platform's
+contention model dilates under co-location.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+from repro.platform.contention import WorkloadProfile
+from repro.util.errors import ValidationError
+from repro.util.validation import require_in_range, require_positive
+
+
+class ComponentKind(enum.Enum):
+    """Role of a component within its ensemble member."""
+
+    SIMULATION = "simulation"
+    ANALYSIS = "analysis"
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Identity and resource demand of one component."""
+
+    name: str
+    kind: ComponentKind
+    cores: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("component name must be non-empty")
+        if not isinstance(self.kind, ComponentKind):
+            raise ValidationError(f"kind must be ComponentKind, got {self.kind!r}")
+        if isinstance(self.cores, bool) or not isinstance(self.cores, int):
+            raise ValidationError(f"cores must be an int, got {self.cores!r}")
+        if self.cores <= 0:
+            raise ValidationError(f"cores must be > 0, got {self.cores}")
+
+
+def amdahl_time(single_core_time: float, serial_fraction: float, cores: int) -> float:
+    """Strong-scaling wall time under Amdahl's law.
+
+    ``t(c) = t(1) * (f + (1 - f) / c)`` where ``f`` is the serial
+    fraction. The universal first-order model for fixed-size MD and
+    analysis kernels; adequate here because the paper varies cores over
+    one node (1..32), well inside the regime where Amdahl dominates.
+    """
+    require_positive("single_core_time", single_core_time)
+    require_in_range("serial_fraction", serial_fraction, 0.0, 1.0)
+    if isinstance(cores, bool) or not isinstance(cores, int) or cores <= 0:
+        raise ValidationError(f"cores must be a positive int, got {cores!r}")
+    return single_core_time * (serial_fraction + (1.0 - serial_fraction) / cores)
+
+
+class ComponentModel(abc.ABC):
+    """What the executor needs to know about one component."""
+
+    def __init__(self, spec: ComponentSpec, profile: WorkloadProfile) -> None:
+        if spec.name != profile.name:
+            raise ValidationError(
+                f"spec name {spec.name!r} != profile name {profile.name!r}"
+            )
+        self.spec = spec
+        self.profile = profile
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def cores(self) -> int:
+        return self.spec.cores
+
+    @abc.abstractmethod
+    def solo_compute_time(self) -> float:
+        """Duration of the compute stage (S or A) per in situ step,
+        running alone (no co-location contention), in seconds."""
+
+    @abc.abstractmethod
+    def payload_bytes(self) -> int:
+        """Bytes staged (written for a simulation, read for an analysis)
+        per in situ step."""

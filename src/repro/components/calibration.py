@@ -1,0 +1,187 @@
+"""Fitting cost models to measured timings.
+
+The analytic component models are Amdahl-shaped::
+
+    t(cores) = T1 * (f + (1 - f) / cores)
+
+which is *linear* in the basis ``(1, 1/cores)``: with ``A = T1*f`` and
+``B = T1*(1-f)``, ``t = A + B/cores``. Calibration is therefore a
+plain least-squares fit, after which ``T1 = A + B`` and
+``f = A / (A + B)``. For the simulation model the single-core time is
+further normalized by ``stride * natoms`` so one fit covers samples at
+different strides and system sizes.
+
+Use case: measure a handful of (cores, wall time) points of your real
+simulation and analysis, fit, and the whole indicator/scheduling stack
+operates on *your* machine's behaviour::
+
+    samples = [SimulationSample(cores=8, stride=800, natoms=250_000,
+                                seconds=28.1), ...]
+    model = fit_simulation_model("gmx", samples)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.components.analysis import EigenAnalysisModel
+from repro.components.simulation import MDSimulationModel
+from repro.util.errors import ValidationError
+from repro.util.validation import require_positive, require_positive_int
+
+
+@dataclass(frozen=True)
+class SimulationSample:
+    """One measured simulation timing: an in situ step's S stage."""
+
+    cores: int
+    stride: int
+    natoms: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        require_positive_int("cores", self.cores)
+        require_positive_int("stride", self.stride)
+        require_positive_int("natoms", self.natoms)
+        require_positive("seconds", self.seconds)
+
+
+@dataclass(frozen=True)
+class AnalysisSample:
+    """One measured analysis timing: an in situ step's A stage."""
+
+    cores: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        require_positive_int("cores", self.cores)
+        require_positive("seconds", self.seconds)
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Outcome of a calibration fit."""
+
+    single_core_time: float  # T1 (per atom-step for simulations)
+    serial_fraction: float  # f
+    rmse: float  # root-mean-square residual in seconds
+    num_samples: int
+
+
+def _fit_amdahl(
+    cores: Sequence[int], times: Sequence[float]
+) -> Tuple[float, float, float]:
+    """Least-squares fit of ``t = A + B/cores``; returns (T1, f, rmse)."""
+    cores_arr = np.asarray(list(cores), dtype=float)
+    times_arr = np.asarray(list(times), dtype=float)
+    if cores_arr.size < 2:
+        raise ValidationError("calibration requires at least two samples")
+    if len(set(cores_arr.tolist())) < 2:
+        raise ValidationError(
+            "calibration requires samples at two or more distinct core "
+            "counts (the fit is over scaling behaviour)"
+        )
+    design = np.column_stack([np.ones_like(cores_arr), 1.0 / cores_arr])
+    coeffs, *_ = np.linalg.lstsq(design, times_arr, rcond=None)
+    a, b = float(coeffs[0]), float(coeffs[1])
+    t1 = a + b
+    if t1 <= 0:
+        raise ValidationError(
+            "fit produced a non-positive single-core time; samples are "
+            "inconsistent with Amdahl scaling"
+        )
+    f = a / t1
+    if not -0.05 <= f <= 1.05:
+        raise ValidationError(
+            f"fit produced serial fraction {f:.3f} outside [0, 1]; "
+            "samples are inconsistent with Amdahl scaling"
+        )
+    f = min(max(f, 0.0), 1.0)
+    residuals = design @ coeffs - times_arr
+    rmse = float(np.sqrt(np.mean(residuals**2)))
+    return t1, f, rmse
+
+
+def fit_simulation_model(
+    name: str,
+    samples: Sequence[SimulationSample],
+    max_relative_rmse: float = 0.25,
+) -> Tuple[MDSimulationModel, FitReport]:
+    """Fit an :class:`MDSimulationModel` to measured step times.
+
+    Samples may mix strides and system sizes; times are normalized to
+    per-atom-per-MD-step before fitting. The returned model is built at
+    the *last* sample's cores/stride/natoms (override as needed).
+
+    Raises :class:`ValidationError` when the fit's relative RMSE
+    exceeds ``max_relative_rmse`` — a sign the measurements do not
+    follow Amdahl scaling (e.g. they straddle a NUMA cliff).
+    """
+    samples = list(samples)
+    if not samples:
+        raise ValidationError("no samples provided")
+    normalized = [
+        s.seconds / (s.stride * s.natoms) for s in samples
+    ]
+    t1, f, rmse = _fit_amdahl([s.cores for s in samples], normalized)
+    mean_t = float(np.mean(normalized))
+    if rmse > max_relative_rmse * mean_t:
+        raise ValidationError(
+            f"poor calibration fit: rmse {rmse:.3g} vs mean {mean_t:.3g} "
+            "(measurements deviate from Amdahl scaling)"
+        )
+    last = samples[-1]
+    model = MDSimulationModel(
+        name,
+        cores=last.cores,
+        natoms=last.natoms,
+        stride=last.stride,
+        seconds_per_atom_step=t1,
+        serial_fraction=f,
+    )
+    report = FitReport(
+        single_core_time=t1,
+        serial_fraction=f,
+        rmse=rmse,
+        num_samples=len(samples),
+    )
+    return model, report
+
+
+def fit_analysis_model(
+    name: str,
+    samples: Sequence[AnalysisSample],
+    natoms: int = 250_000,
+    max_relative_rmse: float = 0.25,
+) -> Tuple[EigenAnalysisModel, FitReport]:
+    """Fit an :class:`EigenAnalysisModel` to measured step times."""
+    samples = list(samples)
+    if not samples:
+        raise ValidationError("no samples provided")
+    t1, f, rmse = _fit_amdahl(
+        [s.cores for s in samples], [s.seconds for s in samples]
+    )
+    mean_t = float(np.mean([s.seconds for s in samples]))
+    if rmse > max_relative_rmse * mean_t:
+        raise ValidationError(
+            f"poor calibration fit: rmse {rmse:.3g} vs mean {mean_t:.3g} "
+            "(measurements deviate from Amdahl scaling)"
+        )
+    last = samples[-1]
+    model = EigenAnalysisModel(
+        name,
+        cores=last.cores,
+        natoms=natoms,
+        single_core_time=t1,
+        serial_fraction=f,
+    )
+    report = FitReport(
+        single_core_time=t1,
+        serial_fraction=f,
+        rmse=rmse,
+        num_samples=len(samples),
+    )
+    return model, report

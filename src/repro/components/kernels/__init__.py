@@ -1,0 +1,42 @@
+"""Real analysis kernels: the paper's collective-variable computation.
+
+The paper's analysis "computes the largest eigenvalue of bipartite
+matrices [Johnston et al. 2017] as a collective variable of the
+frames". These modules implement that computation for real: a bipartite
+distance/contact matrix between two atom groups of a frame
+(:mod:`repro.components.kernels.bipartite`), its dominant spectral
+value via power iteration (:mod:`repro.components.kernels.eigen`), and
+the end-to-end collective-variable pipeline
+(:mod:`repro.components.kernels.cv`).
+"""
+
+from repro.components.kernels.bipartite import (
+    bipartite_contact_matrix,
+    bipartite_distance_matrix,
+    split_groups,
+)
+from repro.components.kernels.cv import CollectiveVariableAnalyzer, CVResult
+from repro.components.kernels.eigen import (
+    largest_eigenvalue_symmetric,
+    largest_singular_value,
+)
+from repro.components.kernels.structure import (
+    StructureAnalyzer,
+    radial_distribution,
+    radius_of_gyration,
+    rmsd,
+)
+
+__all__ = [
+    "CVResult",
+    "CollectiveVariableAnalyzer",
+    "StructureAnalyzer",
+    "bipartite_contact_matrix",
+    "bipartite_distance_matrix",
+    "largest_eigenvalue_symmetric",
+    "largest_singular_value",
+    "radial_distribution",
+    "radius_of_gyration",
+    "rmsd",
+    "split_groups",
+]

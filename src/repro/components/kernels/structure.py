@@ -1,0 +1,131 @@
+"""Classic structural MD analyses: RMSD, radius of gyration, RDF.
+
+The paper's members may couple "identical or distinct algorithms" to a
+simulation. Besides the spectral collective variable
+(:mod:`repro.components.kernels.cv`), these are the standard in situ
+structural analyses — each a genuine implementation usable on the
+mini-MD engine's frames, and each a distinct workload shape for
+heterogeneous-member experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.validation import require_positive, require_positive_int
+
+
+def _check_positions(name: str, positions: np.ndarray) -> np.ndarray:
+    arr = np.asarray(positions, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise ValidationError(f"{name} must be (N, 3), got {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    return arr
+
+
+def rmsd(
+    positions: np.ndarray,
+    reference: np.ndarray,
+    superpose: bool = True,
+) -> float:
+    """Root-mean-square deviation from a reference frame.
+
+    With ``superpose`` (default) the optimal rigid-body alignment is
+    removed first via the Kabsch algorithm (translation + rotation), so
+    the value reflects internal deformation only — the conventional
+    definition for conformational-change tracking.
+    """
+    pos = _check_positions("positions", positions)
+    ref = _check_positions("reference", reference)
+    if pos.shape != ref.shape:
+        raise ValidationError(
+            f"positions {pos.shape} and reference {ref.shape} must match"
+        )
+    if superpose:
+        pos = pos - pos.mean(axis=0)
+        ref = ref - ref.mean(axis=0)
+        # Kabsch: rotation minimizing |pos @ R - ref|
+        h = pos.T @ ref
+        u, _s, vt = np.linalg.svd(h)
+        d = np.sign(np.linalg.det(u @ vt))
+        rot = u @ np.diag([1.0, 1.0, d]) @ vt
+        pos = pos @ rot
+    diff = pos - ref
+    return float(np.sqrt(np.mean(np.einsum("ij,ij->i", diff, diff))))
+
+
+def radius_of_gyration(positions: np.ndarray) -> float:
+    """Radius of gyration: sqrt(mean |r_i - r_cm|^2) (unit masses)."""
+    pos = _check_positions("positions", positions)
+    centered = pos - pos.mean(axis=0)
+    return float(np.sqrt(np.mean(np.einsum("ij,ij->i", centered, centered))))
+
+
+def radial_distribution(
+    positions: np.ndarray,
+    box_length: float,
+    num_bins: int = 50,
+    r_max: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Radial distribution function g(r) of a periodic system.
+
+    Returns ``(bin_centers, g)``. Normalized against the ideal-gas
+    expectation at the system's density, so a well-mixed LJ liquid
+    tends to 1 at large r and shows the familiar first-shell peak near
+    ``r = 2^(1/6)`` sigma (asserted in the tests).
+    """
+    pos = _check_positions("positions", positions)
+    require_positive("box_length", box_length)
+    require_positive_int("num_bins", num_bins)
+    n = pos.shape[0]
+    if n < 2:
+        raise ValidationError("RDF requires at least two particles")
+    if r_max is None:
+        r_max = box_length / 2.0
+    if not 0 < r_max <= box_length / 2.0 + 1e-12:
+        raise ValidationError(
+            f"r_max must be in (0, box_length/2], got {r_max!r}"
+        )
+
+    iu, ju = np.triu_indices(n, k=1)
+    diff = pos[iu] - pos[ju]
+    diff -= box_length * np.round(diff / box_length)
+    r = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    counts, edges = np.histogram(r, bins=num_bins, range=(0.0, r_max))
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    shell_volumes = (4.0 / 3.0) * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    density = n / box_length**3
+    # pair counts expected for an ideal gas: N/2 * rho * V_shell
+    expected = 0.5 * n * density * shell_volumes
+    with np.errstate(invalid="ignore", divide="ignore"):
+        g = np.where(expected > 0, counts / expected, 0.0)
+    return centers, g
+
+
+class StructureAnalyzer:
+    """Stateful per-frame structural analysis (RMSD vs first frame).
+
+    The first analyzed frame becomes the RMSD reference; every call
+    returns ``(rmsd, radius_of_gyration)`` and appends to history.
+    """
+
+    def __init__(self, superpose: bool = True) -> None:
+        self.superpose = superpose
+        self.reference: Optional[np.ndarray] = None
+        self.rmsd_history: list = []
+        self.rg_history: list = []
+
+    def analyze(self, positions: np.ndarray) -> Tuple[float, float]:
+        pos = _check_positions("positions", positions)
+        if self.reference is None:
+            self.reference = pos.copy()
+        value = rmsd(pos, self.reference, superpose=self.superpose)
+        rg = radius_of_gyration(pos)
+        self.rmsd_history.append(value)
+        self.rg_history.append(rg)
+        return value, rg

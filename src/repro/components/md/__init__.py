@@ -1,0 +1,25 @@
+"""A real miniature molecular dynamics engine.
+
+A Lennard-Jones fluid in reduced units with periodic boundaries, cell
+lists, velocity-Verlet integration and a velocity-rescaling thermostat.
+This is a genuine MD code (forces, energies, and integration are all
+computed for real) standing in for GROMACS in the in-process examples:
+it produces real frames that flow through the real DTL into the real
+analysis kernels, exercising the entire runtime code path end to end.
+
+It is deliberately small-N — the point is fidelity of the *coupling*,
+not nanoseconds/day.
+"""
+
+from repro.components.md.engine import MDEngine, MDFrame
+from repro.components.md.forces import lennard_jones_forces
+from repro.components.md.integrator import VelocityVerletIntegrator
+from repro.components.md.system import ParticleSystem
+
+__all__ = [
+    "MDEngine",
+    "MDFrame",
+    "ParticleSystem",
+    "VelocityVerletIntegrator",
+    "lennard_jones_forces",
+]

@@ -1,0 +1,132 @@
+"""Particle system construction for the mini-MD engine.
+
+Everything is in reduced Lennard-Jones units (sigma = epsilon = mass =
+k_B = 1). Particles start on an FCC lattice — the densest simple
+packing, guaranteeing no overlapping pairs at liquid densities — with
+Maxwell-Boltzmann velocities at the requested temperature and zero net
+momentum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.rng import RandomSource
+from repro.util.validation import require_positive, require_positive_int
+
+
+@dataclass
+class ParticleSystem:
+    """State of an N-particle periodic system.
+
+    Attributes
+    ----------
+    positions, velocities:
+        ``(N, 3)`` float64 arrays.
+    box_length:
+        Edge of the cubic periodic box.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    box_length: float
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=float)
+        self.velocities = np.asarray(self.velocities, dtype=float)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValidationError(
+                f"positions must be (N, 3), got {self.positions.shape}"
+            )
+        if self.velocities.shape != self.positions.shape:
+            raise ValidationError(
+                f"velocities shape {self.velocities.shape} != "
+                f"positions shape {self.positions.shape}"
+            )
+        require_positive("box_length", self.box_length)
+
+    @property
+    def natoms(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def density(self) -> float:
+        """Number density N / V."""
+        return self.natoms / self.box_length**3
+
+    def kinetic_energy(self) -> float:
+        """Total kinetic energy (unit masses): 0.5 * sum(v^2)."""
+        return 0.5 * float(np.sum(self.velocities**2))
+
+    def temperature(self) -> float:
+        """Instantaneous temperature from equipartition: 2K / (3N - 3).
+
+        Three degrees of freedom are removed for the zeroed center-of-
+        mass momentum.
+        """
+        dof = 3 * self.natoms - 3
+        return 2.0 * self.kinetic_energy() / dof
+
+    def momentum(self) -> np.ndarray:
+        """Total momentum vector (should stay ~0 under NVE)."""
+        return self.velocities.sum(axis=0)
+
+    def wrap(self) -> None:
+        """Wrap positions into the primary periodic image [0, L)."""
+        self.positions %= self.box_length
+
+
+def fcc_lattice(cells_per_edge: int, box_length: float) -> np.ndarray:
+    """FCC lattice of ``4 * cells_per_edge**3`` sites in a cubic box."""
+    require_positive_int("cells_per_edge", cells_per_edge)
+    require_positive("box_length", box_length)
+    a = box_length / cells_per_edge
+    basis = np.array(
+        [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+    )
+    cells = np.arange(cells_per_edge)
+    offsets = (
+        np.stack(np.meshgrid(cells, cells, cells, indexing="ij"), axis=-1)
+        .reshape(-1, 3)
+        .astype(float)
+    )
+    sites = (offsets[:, None, :] + basis[None, :, :]).reshape(-1, 3)
+    return sites * a
+
+
+def build_system(
+    natoms: int,
+    density: float = 0.8,
+    temperature: float = 1.0,
+    rng: Optional[RandomSource] = None,
+) -> ParticleSystem:
+    """Construct an equilibrat-able LJ system of at least ``natoms``.
+
+    The FCC cell count is rounded up so the actual particle count is
+    the smallest ``4k^3 >= natoms``; check ``system.natoms``.
+    """
+    require_positive_int("natoms", natoms)
+    require_positive("density", density)
+    require_positive("temperature", temperature)
+    rng = rng or RandomSource(0, name="md")
+
+    cells = 1
+    while 4 * cells**3 < natoms:
+        cells += 1
+    n_actual = 4 * cells**3
+    box_length = (n_actual / density) ** (1.0 / 3.0)
+    positions = fcc_lattice(cells, box_length)
+
+    velocities = rng.generator.normal(
+        scale=np.sqrt(temperature), size=(n_actual, 3)
+    )
+    velocities -= velocities.mean(axis=0)  # zero net momentum
+    # Rescale to hit the target temperature exactly.
+    system = ParticleSystem(positions, velocities, box_length)
+    current = system.temperature()
+    system.velocities *= np.sqrt(temperature / current)
+    return system

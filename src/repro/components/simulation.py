@@ -1,0 +1,86 @@
+"""Analytic model of the MD simulation component.
+
+Calibrated against the paper's setup: GROMACS simulating the GltPh
+transporter system (~250k atoms all-atom with solvent) at a 2 fs time
+step, writing a frame every ``stride`` MD steps. On 16 Cori Haswell
+cores such a system sustains roughly 10 ns/day, i.e. ~17 ms per MD
+step, so one in situ step (stride 800) computes for ~14 s. The model's
+default ``seconds_per_atom_step`` reproduces that operating point; the
+paper's orderings depend only on ratios, not on the absolute scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.components.base import (
+    ComponentKind,
+    ComponentModel,
+    ComponentSpec,
+    amdahl_time,
+)
+from repro.components.profiles import simulation_profile
+from repro.platform.contention import WorkloadProfile
+from repro.util.validation import (
+    require_in_range,
+    require_positive,
+    require_positive_int,
+)
+
+#: bytes per atom staged per frame: x/y/z single-precision positions.
+BYTES_PER_ATOM_FRAME = 3 * 4
+
+
+class MDSimulationModel(ComponentModel):
+    """Cost model of one MD simulation coupled into an ensemble member.
+
+    Parameters
+    ----------
+    name:
+        Component name (unique within the workflow ensemble).
+    cores:
+        Physical cores allocated (16 in the paper's experiments).
+    natoms:
+        Atoms in the molecular system (drives compute and frame size).
+    stride:
+        MD steps between staged frames (800 in the paper): one in situ
+        step covers ``stride`` MD integration steps.
+    seconds_per_atom_step:
+        Single-core compute cost per atom per MD step. The default
+        (7.0e-7) yields ~14 s per in situ step at the paper's settings.
+    serial_fraction:
+        Amdahl serial fraction of the MD step (communication,
+        constraints, PME serial phases).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cores: int = 16,
+        natoms: int = 250_000,
+        stride: int = 800,
+        seconds_per_atom_step: float = 7.0e-7,
+        serial_fraction: float = 0.05,
+        profile: Optional[WorkloadProfile] = None,
+    ) -> None:
+        spec = ComponentSpec(name=name, kind=ComponentKind.SIMULATION, cores=cores)
+        super().__init__(spec, profile or simulation_profile(name, natoms=natoms))
+        self.natoms = require_positive_int("natoms", natoms)
+        self.stride = require_positive_int("stride", stride)
+        self.seconds_per_atom_step = require_positive(
+            "seconds_per_atom_step", seconds_per_atom_step
+        )
+        self.serial_fraction = require_in_range(
+            "serial_fraction", serial_fraction, 0.0, 1.0
+        )
+
+    def solo_compute_time(self) -> float:
+        """Duration of the S stage: ``stride`` MD steps at ``cores``."""
+        single_core_step = self.natoms * self.seconds_per_atom_step
+        return self.stride * amdahl_time(
+            single_core_step, self.serial_fraction, self.cores
+        )
+
+    def payload_bytes(self) -> int:
+        """One frame of single-precision atomic positions."""
+        return self.natoms * BYTES_PER_ATOM_FRAME

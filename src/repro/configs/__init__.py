@@ -1,0 +1,23 @@
+"""Experiment configurations: the paper's Tables 2 and 4.
+
+:mod:`repro.configs.table2` defines the seven single-analysis
+configurations (Cf, Cc, C1.1-C1.5); :mod:`repro.configs.table4` the
+eight two-analysis configurations (C2.1-C2.8);
+:mod:`repro.configs.generator` enumerates arbitrary placements for
+search-style studies beyond the paper's fixed sets.
+"""
+
+from repro.configs.base import Configuration, build_spec
+from repro.configs.table2 import TABLE2_CONFIGS, table2
+from repro.configs.table4 import TABLE4_CONFIGS, table4
+from repro.configs.generator import enumerate_placements
+
+__all__ = [
+    "Configuration",
+    "TABLE2_CONFIGS",
+    "TABLE4_CONFIGS",
+    "build_spec",
+    "enumerate_placements",
+    "table2",
+    "table4",
+]

@@ -1,0 +1,88 @@
+"""Configuration: a named ensemble shape plus its placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec, default_member
+from repro.util.errors import ConfigurationError, ValidationError
+from repro.util.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One row of the paper's Table 2 or Table 4.
+
+    Attributes
+    ----------
+    name:
+        Configuration label (e.g. ``"C1.5"``).
+    description:
+        Human-readable summary of the co-location pattern.
+    num_nodes:
+        Allocation size (the table's "Number of nodes", = M).
+    members:
+        Per-member node assignments.
+    """
+
+    name: str
+    description: str
+    num_nodes: int
+    members: Tuple[MemberPlacement, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("configuration name must be non-empty")
+        require_positive_int("num_nodes", self.num_nodes)
+        if not isinstance(self.members, tuple):
+            object.__setattr__(self, "members", tuple(self.members))
+        if not self.members:
+            raise ConfigurationError("a configuration needs at least one member")
+        k = self.members[0].num_couplings
+        for mp in self.members:
+            if mp.num_couplings != k:
+                raise ConfigurationError(
+                    f"{self.name}: members disagree on analyses per member"
+                )
+
+    @property
+    def num_members(self) -> int:
+        return len(self.members)
+
+    @property
+    def num_analyses_per_member(self) -> int:
+        return self.members[0].num_couplings
+
+    def placement(self) -> EnsemblePlacement:
+        """The configuration's :class:`EnsemblePlacement`."""
+        return EnsemblePlacement(num_nodes=self.num_nodes, members=self.members)
+
+
+def build_spec(
+    config: Configuration,
+    n_steps: int = 37,
+    sim_cores: int = 16,
+    ana_cores: int = 8,
+    natoms: int = 250_000,
+    stride: int = 800,
+) -> EnsembleSpec:
+    """Build the matching ensemble spec (paper defaults).
+
+    Every member is one MD simulation (16 cores, stride 800) coupled
+    with the configuration's number of identical 8-core analyses.
+    """
+    members = tuple(
+        default_member(
+            f"em{i + 1}",
+            num_analyses=config.num_analyses_per_member,
+            n_steps=n_steps,
+            sim_cores=sim_cores,
+            ana_cores=ana_cores,
+            natoms=natoms,
+            stride=stride,
+        )
+        for i in range(config.num_members)
+    )
+    return EnsembleSpec(name=config.name, members=members)

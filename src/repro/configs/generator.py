@@ -1,0 +1,106 @@
+"""Placement enumeration beyond the paper's fixed tables.
+
+:func:`enumerate_placements` yields every feasible assignment of an
+ensemble's components to an allocation of ``num_nodes`` nodes,
+optionally deduplicating placements equivalent under node relabeling.
+The paper notes the space is intractable in general (§3.4) — this
+enumerator is for the small N/K/M regimes of the evaluation, where
+exhaustive search both validates the heuristic and powers the
+placement-search example.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec
+from repro.util.validation import require_positive_int
+
+
+def _canonical_signature(
+    flat_assignment: Sequence[int],
+) -> Tuple[int, ...]:
+    """Relabel nodes by first appearance so isomorphic placements match."""
+    mapping: Dict[int, int] = {}
+    out: List[int] = []
+    for node in flat_assignment:
+        if node not in mapping:
+            mapping[node] = len(mapping)
+        out.append(mapping[node])
+    return tuple(out)
+
+
+def enumerate_placements(
+    spec: EnsembleSpec,
+    num_nodes: int,
+    cores_per_node: int,
+    dedup_symmetric: bool = True,
+) -> Iterator[EnsemblePlacement]:
+    """Yield all feasible placements of ``spec`` over ``num_nodes`` nodes.
+
+    Feasible means every node's total core demand fits in
+    ``cores_per_node``. With ``dedup_symmetric`` (default) only one
+    representative per node-relabeling equivalence class is yielded —
+    nodes are interchangeable in a homogeneous allocation, so e.g.
+    ``sim@n0, ana@n1`` and ``sim@n1, ana@n0`` are the same scenario.
+
+    The iteration order is deterministic (lexicographic in component
+    order), so downstream searches are reproducible.
+    """
+    require_positive_int("num_nodes", num_nodes)
+    require_positive_int("cores_per_node", cores_per_node)
+
+    component_cores: List[int] = []
+    member_shapes: List[int] = []  # number of components per member
+    for member in spec.members:
+        member_shapes.append(1 + member.num_couplings)
+        component_cores.append(member.simulation.cores)
+        component_cores.extend(a.cores for a in member.analyses)
+
+    total_components = len(component_cores)
+    seen: set = set()
+
+    for assignment in itertools.product(range(num_nodes), repeat=total_components):
+        demand: Dict[int, int] = {}
+        feasible = True
+        for node, cores in zip(assignment, component_cores):
+            demand[node] = demand.get(node, 0) + cores
+            if demand[node] > cores_per_node:
+                feasible = False
+                break
+        if not feasible:
+            continue
+        if dedup_symmetric:
+            sig = _canonical_signature(assignment)
+            if sig in seen:
+                continue
+            seen.add(sig)
+
+        members: List[MemberPlacement] = []
+        cursor = 0
+        for shape in member_shapes:
+            chunk = assignment[cursor : cursor + shape]
+            cursor += shape
+            members.append(
+                MemberPlacement(
+                    simulation_node=chunk[0], analysis_nodes=tuple(chunk[1:])
+                )
+            )
+        yield EnsemblePlacement(num_nodes=num_nodes, members=tuple(members))
+
+
+def count_feasible_placements(
+    spec: EnsembleSpec,
+    num_nodes: int,
+    cores_per_node: int,
+    dedup_symmetric: bool = True,
+) -> int:
+    """Size of the feasible placement space (for reporting)."""
+    return sum(
+        1
+        for _ in enumerate_placements(
+            spec, num_nodes, cores_per_node, dedup_symmetric
+        )
+    )

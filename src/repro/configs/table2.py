@@ -1,0 +1,88 @@
+"""The paper's Table 2: seven configurations, one analysis per member.
+
+==============  =====  =======  ==============================
+configuration   nodes  members  node indexes (sim, ana) x member
+==============  =====  =======  ==============================
+Cf              2      1        (n0, n1)
+Cc              1      1        (n0, n0)
+C1.1            3      2        (n0, n2), (n1, n2)
+C1.2            3      2        (n0, n1), (n0, n2)
+C1.3            3      2        (n0, n0), (n1, n2)
+C1.4            2      2        (n0, n1), (n0, n1)
+C1.5            2      2        (n0, n0), (n1, n1)
+==============  =====  =======  ==============================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.configs.base import Configuration
+from repro.runtime.placement import MemberPlacement
+from repro.util.errors import ConfigurationError
+
+
+def table2() -> List[Configuration]:
+    """The seven Table 2 configurations, in the paper's order."""
+    return [
+        Configuration(
+            name="Cf",
+            description="co-location-free: simulation and analysis on "
+            "separate nodes",
+            num_nodes=2,
+            members=(MemberPlacement(0, (1,)),),
+        ),
+        Configuration(
+            name="Cc",
+            description="co-located: simulation and analysis share one node",
+            num_nodes=1,
+            members=(MemberPlacement(0, (0,)),),
+        ),
+        Configuration(
+            name="C1.1",
+            description="analyses share a node; each simulation dedicated",
+            num_nodes=3,
+            members=(MemberPlacement(0, (2,)), MemberPlacement(1, (2,))),
+        ),
+        Configuration(
+            name="C1.2",
+            description="simulations share a node; each analysis dedicated",
+            num_nodes=3,
+            members=(MemberPlacement(0, (1,)), MemberPlacement(0, (2,))),
+        ),
+        Configuration(
+            name="C1.3",
+            description="member 1 co-located; member 2 split across two nodes",
+            num_nodes=3,
+            members=(MemberPlacement(0, (0,)), MemberPlacement(1, (2,))),
+        ),
+        Configuration(
+            name="C1.4",
+            description="simulations share one node, analyses share another",
+            num_nodes=2,
+            members=(MemberPlacement(0, (1,)), MemberPlacement(0, (1,))),
+        ),
+        Configuration(
+            name="C1.5",
+            description="each simulation co-located with its own analysis",
+            num_nodes=2,
+            members=(MemberPlacement(0, (0,)), MemberPlacement(1, (1,))),
+        ),
+    ]
+
+
+TABLE2_CONFIGS: Dict[str, Configuration] = {c.name: c for c in table2()}
+
+#: the two-member subset evaluated in Figure 8.
+TABLE2_TWO_MEMBER = ("C1.1", "C1.2", "C1.3", "C1.4", "C1.5")
+
+
+def get_config(name: str) -> Configuration:
+    """Look up a Table 2 configuration by name."""
+    try:
+        return TABLE2_CONFIGS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown Table 2 configuration {name!r}; "
+            f"valid: {sorted(TABLE2_CONFIGS)}"
+        ) from None

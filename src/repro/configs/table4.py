@@ -1,0 +1,73 @@
+"""The paper's Table 4: eight configurations, two analyses per member.
+
+Node indexes per member are (simulation, analysis 1, analysis 2):
+
+=====  =====  =========================  =========================
+name   nodes  member 1                   member 2
+=====  =====  =========================  =========================
+C2.1   3      (n0, n2, n2)               (n1, n2, n2)
+C2.2   3      (n0, n1, n1)               (n0, n2, n2)
+C2.3   3      (n0, n1, n2)               (n0, n1, n2)
+C2.4   3      (n0, n0, n2)               (n1, n1, n2)
+C2.5   3      (n0, n1, n2)               (n1, n0, n2)
+C2.6   2      (n0, n1, n1)               (n0, n1, n1)
+C2.7   2      (n0, n0, n1)               (n1, n0, n1)
+C2.8   2      (n0, n0, n0)               (n1, n1, n1)
+=====  =====  =========================  =========================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.configs.base import Configuration
+from repro.runtime.placement import MemberPlacement
+from repro.util.errors import ConfigurationError
+
+
+def table4() -> List[Configuration]:
+    """The eight Table 4 configurations, in the paper's order."""
+    rows = [
+        ("C2.1", 3, (0, 2, 2), (1, 2, 2), "all analyses share n2"),
+        ("C2.2", 3, (0, 1, 1), (0, 2, 2), "sims share n0; each member's "
+         "analyses share a dedicated node"),
+        ("C2.3", 3, (0, 1, 2), (0, 1, 2), "sims share n0; analyses paired "
+         "across members on n1 and n2"),
+        ("C2.4", 3, (0, 0, 2), (1, 1, 2), "one analysis co-located per "
+         "member; second analyses share n2"),
+        ("C2.5", 3, (0, 1, 2), (1, 0, 2), "first analyses cross-located on "
+         "the other member's sim node"),
+        ("C2.6", 2, (0, 1, 1), (0, 1, 1), "sims share n0; all four analyses "
+         "share n1"),
+        ("C2.7", 2, (0, 0, 1), (1, 0, 1), "analyses split across both nodes"),
+        ("C2.8", 2, (0, 0, 0), (1, 1, 1), "each member fully co-located on "
+         "its own node"),
+    ]
+    configs: List[Configuration] = []
+    for name, nodes, m1, m2, desc in rows:
+        configs.append(
+            Configuration(
+                name=name,
+                description=desc,
+                num_nodes=nodes,
+                members=(
+                    MemberPlacement(m1[0], (m1[1], m1[2])),
+                    MemberPlacement(m2[0], (m2[1], m2[2])),
+                ),
+            )
+        )
+    return configs
+
+
+TABLE4_CONFIGS: Dict[str, Configuration] = {c.name: c for c in table4()}
+
+
+def get_config(name: str) -> Configuration:
+    """Look up a Table 4 configuration by name."""
+    try:
+        return TABLE4_CONFIGS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown Table 4 configuration {name!r}; "
+            f"valid: {sorted(TABLE4_CONFIGS)}"
+        ) from None

@@ -1,0 +1,65 @@
+"""Computational efficiency of an ensemble member (paper §3.3, Eq. 3).
+
+For each coupling ``(Sim, Ana^i)`` the effective-computation fraction
+of an actual in situ step is ``1 - (I^S* + I^{A_i}*) / sigma*``; the
+member's computational efficiency ``E`` is the average over its ``K``
+couplings, which telescopes to the closed form::
+
+    E = (S* + W*) / sigma*  +  sum_i (R^i* + A^i*) / (K * sigma*)  -  1
+
+Maximizing ``E`` minimizes idle time and therefore the makespan (which
+is ``n_steps * sigma*``).
+
+Range: with ``K = 1``,
+``E = min(sim_active, ana_active) / max(sim_active, ana_active)``
+lies in ``(0, 1]`` (for positive stage times). For ``K > 1`` the upper
+bound ``E <= 1`` still holds, but individual couplings far shorter
+than the member's period contribute *negative* effective fractions
+(both sides of such a coupling idle most of the period), so ``E`` can
+drop below zero; the tight lower bound is ``E > 1/K - 1``, since the
+mean analysis active time is at least ``sigma*/K`` whenever an
+analysis defines the period. Unbalanced couplings being penalized is
+intended — the indicator is meant to disfavor them. These bounds are
+property-tested in ``tests/core/test_efficiency.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.insitu import (
+    analysis_idle_time,
+    non_overlapped_segment,
+    simulation_idle_time,
+)
+from repro.core.stages import MemberStages
+from repro.util.errors import ValidationError
+
+
+def coupling_efficiency(member: MemberStages, index: int) -> float:
+    """Effective-computation fraction of coupling ``(Sim, Ana^index)``.
+
+    ``1 - (I^S* + I^{A_i}*) / sigma*`` — the summand of Eq. 3.
+    """
+    sigma = non_overlapped_segment(member)
+    if sigma <= 0:
+        raise ValidationError(
+            "cannot compute efficiency of a member with zero-duration stages"
+        )
+    idle = simulation_idle_time(member) + analysis_idle_time(member, index)
+    return 1.0 - idle / sigma
+
+
+def computational_efficiency(member: MemberStages) -> float:
+    """Eq. 3: the member's computational efficiency ``E``.
+
+    Computed via the closed form; the definitional average of
+    :func:`coupling_efficiency` is algebraically identical (asserted by
+    the test suite to machine precision).
+    """
+    sigma = non_overlapped_segment(member)
+    if sigma <= 0:
+        raise ValidationError(
+            "cannot compute efficiency of a member with zero-duration stages"
+        )
+    k = member.num_couplings
+    analyses_active = sum(a.active for a in member.analyses)
+    return member.simulation.active / sigma + analyses_active / (k * sigma) - 1.0

@@ -1,0 +1,97 @@
+"""The §3.4 resource-provisioning heuristic.
+
+Given a simulation with user-fixed settings, choose the analysis core
+count. The search space (cores x placements x stride) is intractable,
+so the paper's heuristic works on the co-location-free baseline:
+
+1. sweep the analysis core count;
+2. keep the counts satisfying Eq. 4 — ``R* + A* <= S* + W*`` for every
+   coupling (Idle Analyzer regime), which minimizes
+   ``sigma* = S* + W*`` and hence the makespan;
+3. among those, pick the count maximizing the computational efficiency
+   ``E`` (least idle time).
+
+Since in the feasible region ``E = mean(R+A) / (S+W)`` decreases as
+cores shrink the analysis time, the winner is the *smallest feasible
+core count* — 8 cores in the paper's calibration, which is exactly
+what :func:`choose_analysis_cores` returns for the default models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.efficiency import computational_efficiency
+from repro.core.insitu import non_overlapped_segment
+from repro.core.stages import MemberStages
+from repro.util.errors import ValidationError
+
+#: builds the member's steady-state stages for a given analysis core count.
+StageEvaluator = Callable[[int], MemberStages]
+
+
+@dataclass(frozen=True)
+class CoreSweepPoint:
+    """One point of the §3.4 sweep (a column of the paper's Figure 7)."""
+
+    cores: int
+    sigma: float  # non-overlapped in situ step
+    simulation_active: float  # S* + W*
+    analysis_active: float  # max_i (R^i* + A^i*)
+    efficiency: float  # E
+    feasible: bool  # Eq. 4 satisfied for every coupling
+
+
+@dataclass(frozen=True)
+class CoreAllocationChoice:
+    """Outcome of the heuristic."""
+
+    cores: int
+    point: CoreSweepPoint
+    sweep: Tuple[CoreSweepPoint, ...]
+
+
+def sweep_analysis_cores(
+    evaluate: StageEvaluator,
+    core_counts: Sequence[int],
+) -> List[CoreSweepPoint]:
+    """Evaluate the member at each analysis core count."""
+    counts = list(core_counts)
+    if not counts:
+        raise ValidationError("core_counts must be non-empty")
+    points: List[CoreSweepPoint] = []
+    for cores in counts:
+        member = evaluate(cores)
+        sigma = non_overlapped_segment(member)
+        sim_active = member.simulation.active
+        ana_active = max(a.active for a in member.analyses)
+        feasible = all(a.active <= sim_active for a in member.analyses)
+        points.append(
+            CoreSweepPoint(
+                cores=cores,
+                sigma=sigma,
+                simulation_active=sim_active,
+                analysis_active=ana_active,
+                efficiency=computational_efficiency(member),
+                feasible=feasible,
+            )
+        )
+    return points
+
+
+def choose_analysis_cores(
+    evaluate: StageEvaluator,
+    core_counts: Sequence[int],
+) -> Optional[CoreAllocationChoice]:
+    """Run the heuristic; ``None`` if no core count satisfies Eq. 4.
+
+    Feasible points are ranked by efficiency ``E`` (higher first),
+    breaking exact ties toward fewer cores (cheaper allocation).
+    """
+    sweep = sweep_analysis_cores(evaluate, core_counts)
+    feasible = [p for p in sweep if p.feasible]
+    if not feasible:
+        return None
+    best = max(feasible, key=lambda p: (p.efficiency, -p.cores))
+    return CoreAllocationChoice(cores=best.cores, point=best, sweep=tuple(sweep))

@@ -1,0 +1,226 @@
+"""Multi-stage performance indicators (paper §4).
+
+Three information layers refine a member's indicator:
+
+- **U (resource usage, Eq. 5)** — the base: ``P^U = E / c`` where
+  ``E`` is the member's computational efficiency and ``c`` its total
+  core count. Always applied first (the other layers are weights on
+  this base).
+- **A (resource allocation, Eq. 6-7)** — multiply by the placement
+  indicator ``CP = (|s| / K) * sum_j 1 / |s U a^j|``, which is 1 when
+  every analysis is co-located with its simulation and approaches 0 as
+  components spread over dedicated nodes.
+- **P (resource provisioning, Eq. 8)** — divide by ``M``, the node
+  count of the whole workflow ensemble.
+
+A and P commute (both are multiplicative weights), so the two paths
+explored in §5.2 — ``U -> A -> P`` and ``U -> P -> A`` — end at the
+same final value ``P^{U,A,P} = P^{U,P,A}``; what differs is the
+*intermediate* indicator, and the paper studies how much each
+intermediate can already discriminate between configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.core.stages import MemberStages
+from repro.core.efficiency import computational_efficiency
+from repro.util.errors import ValidationError
+from repro.util.validation import require_positive_int
+
+
+class IndicatorStage(Enum):
+    """One information layer of the multi-stage indicator."""
+
+    USAGE = "U"
+    ALLOCATION = "A"
+    PROVISIONING = "P"
+
+
+@dataclass(frozen=True)
+class PlacementSets:
+    """Node-index sets of one ensemble member (Table 3's s_i, a_i^j).
+
+    ``simulation_nodes`` is ``s_i``; ``analysis_nodes[j]`` is
+    ``a_i^j``. Node indexes are allocation-relative.
+    """
+
+    simulation_nodes: FrozenSet[int]
+    analysis_nodes: Tuple[FrozenSet[int], ...]
+
+    def __post_init__(self) -> None:
+        sim = frozenset(self.simulation_nodes)
+        object.__setattr__(self, "simulation_nodes", sim)
+        anas = tuple(frozenset(a) for a in self.analysis_nodes)
+        object.__setattr__(self, "analysis_nodes", anas)
+        if not sim:
+            raise ValidationError("simulation_nodes must be non-empty")
+        if not anas:
+            raise ValidationError("at least one analysis placement required")
+        for j, a in enumerate(anas):
+            if not a:
+                raise ValidationError(f"analysis_nodes[{j}] must be non-empty")
+        for idx in sim | frozenset().union(*anas):
+            if idx < 0:
+                raise ValidationError(f"negative node index {idx}")
+
+    @property
+    def num_couplings(self) -> int:
+        """K_i."""
+        return len(self.analysis_nodes)
+
+    @property
+    def all_nodes(self) -> FrozenSet[int]:
+        """Every node this member touches."""
+        return self.simulation_nodes.union(*self.analysis_nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """d_i = |s_i U union_j a_i^j|."""
+        return len(self.all_nodes)
+
+    def coupling_co_located(self, j: int) -> bool:
+        """True iff analysis ``j`` shares every node with the simulation.
+
+        Per §4.3: co-located iff ``|s_i| = |s_i U a_i^j|``.
+        """
+        if not 0 <= j < self.num_couplings:
+            raise ValidationError(f"coupling index {j} out of range")
+        return len(self.simulation_nodes) == len(
+            self.simulation_nodes | self.analysis_nodes[j]
+        )
+
+
+def placement_indicator(placement: PlacementSets) -> float:
+    """Eq. 6: ``CP_i = (|s_i| / K_i) * sum_j 1 / |s_i U a_i^j|``.
+
+    Lies in ``(0, 1]``; equals 1 iff every coupling is co-located.
+    """
+    s = len(placement.simulation_nodes)
+    k = placement.num_couplings
+    total = sum(
+        1.0 / len(placement.simulation_nodes | a) for a in placement.analysis_nodes
+    )
+    return (s / k) * total
+
+
+def resource_usage_indicator(efficiency: float, total_cores: int) -> float:
+    """Eq. 5: ``P^U = E_i / c_i``."""
+    require_positive_int("total_cores", total_cores)
+    return efficiency / total_cores
+
+
+@dataclass(frozen=True)
+class MemberMeasurement:
+    """Everything the indicator needs to know about one member.
+
+    Attributes
+    ----------
+    name:
+        Member identifier (for reports).
+    stages:
+        Steady-state stage durations (measured or modeled).
+    total_cores:
+        c_i — cores used by the simulation plus all its analyses.
+    placement:
+        The member's node-index sets.
+    """
+
+    name: str
+    stages: MemberStages
+    total_cores: int
+    placement: PlacementSets
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("member name must be non-empty")
+        require_positive_int("total_cores", self.total_cores)
+        if self.stages.num_couplings != self.placement.num_couplings:
+            raise ValidationError(
+                f"stages have K={self.stages.num_couplings} couplings but "
+                f"placement has K={self.placement.num_couplings}"
+            )
+
+    @property
+    def efficiency(self) -> float:
+        """E_i (Eq. 3)."""
+        return computational_efficiency(self.stages)
+
+    @property
+    def base_indicator(self) -> float:
+        """P^U (Eq. 5)."""
+        return resource_usage_indicator(self.efficiency, self.total_cores)
+
+
+def apply_stages(
+    member: MemberMeasurement,
+    stages: Sequence[IndicatorStage],
+    total_nodes: int,
+) -> float:
+    """Compute the indicator after applying ``stages`` in order.
+
+    ``stages`` must start with :attr:`IndicatorStage.USAGE` and contain
+    no duplicates; ``total_nodes`` is M, the node count of the whole
+    workflow ensemble (used by the P layer).
+    """
+    require_positive_int("total_nodes", total_nodes)
+    stage_list = list(stages)
+    if not stage_list or stage_list[0] is not IndicatorStage.USAGE:
+        raise ValidationError(
+            "the indicator must start with the USAGE stage (P^U is the base)"
+        )
+    if len(set(stage_list)) != len(stage_list):
+        raise ValidationError("indicator stages must not repeat")
+    if member.placement.num_nodes > total_nodes:
+        raise ValidationError(
+            f"member {member.name!r} spans {member.placement.num_nodes} nodes "
+            f"but the ensemble reportedly uses only {total_nodes}"
+        )
+    value = member.base_indicator
+    for stage in stage_list[1:]:
+        if stage is IndicatorStage.ALLOCATION:
+            value *= placement_indicator(member.placement)
+        elif stage is IndicatorStage.PROVISIONING:
+            value /= total_nodes
+        else:  # pragma: no cover - USAGE already rejected above
+            raise ValidationError(f"unexpected stage {stage!r}")
+    return value
+
+
+def indicator_path(
+    member: MemberMeasurement,
+    order: Sequence[IndicatorStage],
+    total_nodes: int,
+) -> Dict[str, float]:
+    """All intermediate indicator values along a stage order.
+
+    For order ``U, A, P`` returns ``{"U": P^U, "U,A": P^{U,A},
+    "U,A,P": P^{U,A,P}}`` — the series plotted in the paper's
+    Figures 8 and 9.
+    """
+    labels: List[str] = []
+    out: Dict[str, float] = {}
+    for i in range(1, len(order) + 1):
+        prefix = list(order[:i])
+        labels.append(",".join(s.value for s in prefix))
+        out[labels[-1]] = apply_stages(member, prefix, total_nodes)
+    return out
+
+
+def ensemble_node_count(placements: Iterable[PlacementSets]) -> int:
+    """M: distinct nodes used by all members together.
+
+    Satisfies ``M <= sum_i d_i`` with equality iff members share no
+    nodes (the paper's Table 3 inequality; property-tested).
+    """
+    nodes: FrozenSet[int] = frozenset()
+    count = 0
+    for p in placements:
+        nodes = nodes | p.all_nodes
+        count += 1
+    if count == 0:
+        raise ValidationError("at least one member placement required")
+    return len(nodes)

@@ -1,0 +1,82 @@
+"""The in situ step: non-overlapped segment and makespan (paper §3.2).
+
+The synchronous no-buffering protocol orders I/O stages as
+``W_i -> R_i -> W_{i+1}``. In steady state the member's period — the
+"actual" (non-overlapped) in situ step — is (Eq. 1)::
+
+    sigma* = max(S* + W*, R^1* + A^1*, ..., R^K* + A^K*)
+
+and the member makespan over ``n_steps`` in situ steps is (Eq. 2)::
+
+    MAKESPAN = n_steps * sigma*
+
+Each coupling is classified (Figure 6) as *Idle Simulation* (the
+analysis step outlasts the simulation step; the simulation waits) or
+*Idle Analyzer* (the reverse). Idle durations are derived from Eq. 1
+exactly as in §3.3: ``I^S* = sigma* - (S* + W*)`` and
+``I^{A_i}* = sigma* - (R^i* + A^i*)``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.stages import MemberStages
+from repro.util.errors import ValidationError
+from repro.util.validation import require_positive_int
+
+
+class CouplingRegime(enum.Enum):
+    """Which side of a (Sim, Ana^i) coupling idles in steady state."""
+
+    IDLE_SIMULATION = "idle-simulation"
+    IDLE_ANALYZER = "idle-analyzer"
+    BALANCED = "balanced"  # the two sides match exactly
+
+
+def non_overlapped_segment(member: MemberStages) -> float:
+    """Eq. 1: the steady-state period sigma* of an ensemble member."""
+    return max(
+        member.simulation.active,
+        *(analysis.active for analysis in member.analyses),
+    )
+
+
+def member_makespan(member: MemberStages, n_steps: int) -> float:
+    """Eq. 2: makespan = n_steps * sigma*."""
+    require_positive_int("n_steps", n_steps)
+    return n_steps * non_overlapped_segment(member)
+
+
+def simulation_idle_time(member: MemberStages) -> float:
+    """I^S* = sigma* - (S* + W*): simulation idle per in situ step."""
+    return non_overlapped_segment(member) - member.simulation.active
+
+
+def analysis_idle_time(member: MemberStages, index: int) -> float:
+    """I^{A_i}* = sigma* - (R^i* + A^i*): analysis ``index`` idle time."""
+    if not 0 <= index < member.num_couplings:
+        raise ValidationError(
+            f"analysis index {index} out of range 0..{member.num_couplings - 1}"
+        )
+    return non_overlapped_segment(member) - member.analyses[index].active
+
+
+def classify_coupling(member: MemberStages, index: int) -> CouplingRegime:
+    """Classify coupling ``(Sim, Ana^index)`` per Figure 6.
+
+    The comparison is between the two sides' active times: if the
+    analysis's ``R* + A*`` exceeds the simulation's ``S* + W*`` the
+    simulation idles waiting for the analysis, and vice versa.
+    """
+    if not 0 <= index < member.num_couplings:
+        raise ValidationError(
+            f"analysis index {index} out of range 0..{member.num_couplings - 1}"
+        )
+    sim_active = member.simulation.active
+    ana_active = member.analyses[index].active
+    if ana_active > sim_active:
+        return CouplingRegime.IDLE_SIMULATION
+    if ana_active < sim_active:
+        return CouplingRegime.IDLE_ANALYZER
+    return CouplingRegime.BALANCED

@@ -1,0 +1,42 @@
+"""Ensemble-level objective function (paper §5.1, Eq. 9).
+
+Member indicators are aggregated as ``F(P) = mean(P) - std(P)`` with
+the *population* standard deviation. Subtracting the spread favors
+configurations whose members perform uniformly — the ensemble makespan
+is the max over members, so one straggler hurts the whole ensemble
+even if the mean looks good. Higher ``F`` is better.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.stats import population_std
+
+
+def objective_function(indicators: Sequence[float]) -> float:
+    """Eq. 9: ``F = mean(P_i) - population_std(P_i)``."""
+    values = np.asarray(list(indicators), dtype=float)
+    if values.size == 0:
+        raise ValidationError("objective_function requires at least one indicator")
+    return float(values.mean()) - population_std(values)
+
+
+def rank_by_objective(
+    per_configuration: Dict[str, Sequence[float]],
+) -> List[Tuple[str, float]]:
+    """Rank configurations by ``F`` (best first).
+
+    ``per_configuration`` maps a configuration name to its members'
+    indicator values. Ties keep insertion order (stable sort).
+    """
+    if not per_configuration:
+        raise ValidationError("rank_by_objective requires at least one configuration")
+    scored = [
+        (name, objective_function(values))
+        for name, values in per_configuration.items()
+    ]
+    return sorted(scored, key=lambda item: -item[1])

@@ -1,0 +1,67 @@
+"""End-to-end indicator evaluation: measurements in, F table out.
+
+The public convenience the figure experiments (and downstream users)
+share: given each member's :class:`~repro.core.indicators
+.MemberMeasurement` and the ensemble's node count, produce the
+objective ``F`` at every stage of both §5.2 paths::
+
+    {"U": ..., "U,P": ..., "U,A": ..., "U,P,A": ..., "U,A,P": ...}
+
+This is the complete Figure 8/9 computation for one configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.indicators import (
+    IndicatorStage,
+    MemberMeasurement,
+    apply_stages,
+)
+from repro.core.objective import objective_function
+from repro.util.errors import ValidationError
+
+U = IndicatorStage.USAGE
+A = IndicatorStage.ALLOCATION
+P = IndicatorStage.PROVISIONING
+
+#: every stage prefix of the two §5.2 paths, label -> stage sequence.
+STAGE_PATHS: Dict[str, Tuple[IndicatorStage, ...]] = {
+    "U": (U,),
+    "U,P": (U, P),
+    "U,A": (U, A),
+    "U,P,A": (U, P, A),
+    "U,A,P": (U, A, P),
+}
+
+
+def member_indicator_paths(
+    member: MemberMeasurement, total_nodes: int
+) -> Dict[str, float]:
+    """One member's indicator value at every stage of both paths."""
+    return {
+        label: apply_stages(member, stages, total_nodes)
+        for label, stages in STAGE_PATHS.items()
+    }
+
+
+def ensemble_objective_paths(
+    members: Sequence[MemberMeasurement], total_nodes: int
+) -> Dict[str, float]:
+    """F (Eq. 9) over the ensemble's members at every indicator stage.
+
+    The row of Figures 8/9 for one configuration.
+    """
+    members = list(members)
+    if not members:
+        raise ValidationError("at least one member measurement required")
+    per_stage: Dict[str, List[float]] = {label: [] for label in STAGE_PATHS}
+    for member in members:
+        values = member_indicator_paths(member, total_nodes)
+        for label, value in values.items():
+            per_stage[label].append(value)
+    return {
+        label: objective_function(values)
+        for label, values in per_stage.items()
+    }

@@ -1,0 +1,51 @@
+"""A from-scratch discrete-event simulation (DES) engine.
+
+This subpackage provides the execution substrate for the workflow
+ensemble runtime (:mod:`repro.runtime`). It follows the classic
+process-interaction style (as popularized by SimPy):
+
+- an :class:`~repro.des.engine.Environment` owns virtual time and a
+  priority event queue;
+- *processes* are Python generators that ``yield`` events and are
+  resumed when those events trigger;
+- shared state is mediated by :class:`~repro.des.resources.Resource`
+  (counted capacity) and :class:`~repro.des.store.Store` (object
+  queues);
+- :class:`~repro.des.monitor.TimeSeriesMonitor` records observations
+  against virtual time.
+
+The engine is deterministic: simultaneous events are ordered by
+(time, priority, insertion id), so repeated runs of the same program
+produce identical traces.
+"""
+
+from repro.des.engine import Environment
+from repro.des.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventPriority,
+    Interrupt,
+    Timeout,
+)
+from repro.des.process import Process
+from repro.des.resources import Preempted, Request, Resource
+from repro.des.store import FilterStore, Store
+from repro.des.monitor import TimeSeriesMonitor
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "EventPriority",
+    "FilterStore",
+    "Interrupt",
+    "Preempted",
+    "Process",
+    "Request",
+    "Resource",
+    "Store",
+    "TimeSeriesMonitor",
+    "Timeout",
+]

@@ -1,0 +1,148 @@
+"""The discrete-event simulation environment (clock + event queue).
+
+:class:`Environment` owns virtual time. Events are scheduled into a
+binary heap keyed on ``(time, priority, sequence)``; the sequence
+number makes scheduling stable, so two runs of the same simulation
+program produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.des.events import AllOf, AnyOf, Event, EventPriority, Timeout
+from repro.des.process import Process
+from repro.util.errors import SimulationError, ValidationError
+
+
+class EmptySchedule(SimulationError):
+    """The event queue ran dry before the ``until`` horizon was reached."""
+
+
+class Environment:
+    """A single-threaded discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Virtual time at which the clock starts (default 0.0).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        if initial_time < 0:
+            raise ValidationError(f"initial_time must be >= 0, got {initial_time!r}")
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._next_id = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories --------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a process from a generator of events."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when at least one event in ``events`` has."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------------
+    def schedule(
+        self,
+        event: Event,
+        delay: float = 0.0,
+        priority: EventPriority = EventPriority.NORMAL,
+    ) -> None:
+        """Insert ``event`` into the queue ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValidationError(f"schedule delay must be >= 0, got {delay!r}")
+        heapq.heappush(
+            self._queue, (self._now + delay, int(priority), self._next_id, event)
+        )
+        self._next_id += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to it."""
+        if not self._queue:
+            raise EmptySchedule("no events scheduled")
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        - ``None``: run until the event queue is exhausted;
+        - a number: run until virtual time reaches it (clock is set to
+          ``until`` even if the queue empties earlier);
+        - an :class:`Event`: run until that event is *processed* and
+          return its value (raising if the event failed). If the queue
+          empties first, :class:`EmptySchedule` is raised — the event
+          can never trigger.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            finished = {"done": False}
+
+            def _mark(_event: Event) -> None:
+                finished["done"] = True
+
+            if sentinel.processed:
+                return sentinel.value
+            assert sentinel.callbacks is not None
+            sentinel.callbacks.append(_mark)
+            while not finished["done"]:
+                if not self._queue:
+                    raise EmptySchedule(
+                        "event queue exhausted before the 'until' event triggered"
+                    )
+                self.step()
+            return sentinel.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValidationError(
+                f"cannot run until {horizon} (clock already at {self._now})"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,193 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` moves through three states:
+
+``pending`` -> ``triggered`` (a value or an exception has been set and
+the event is scheduled) -> ``processed`` (its callbacks have run).
+
+Events are single-shot: triggering a triggered event raises
+:class:`~repro.util.errors.SimulationError`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+from repro.util.errors import SimulationError, ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.des.engine import Environment
+
+
+class EventPriority(enum.IntEnum):
+    """Tie-break ordering for events scheduled at the same instant.
+
+    Lower values run first. ``URGENT`` is used internally for resource
+    bookkeeping so releases are visible before same-instant acquires.
+    """
+
+    URGENT = 0
+    NORMAL = 1
+    LOW = 2
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    Callbacks receive the event itself; processes register themselves
+    as callbacks when they yield an event.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+
+    # -- state queries ------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value/exception has been assigned."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the callback list is retired)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully (no exception)."""
+        if not self._triggered:
+            raise SimulationError("event has not been triggered yet")
+        return self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event's value (raises the failure exception if it failed)."""
+        if not self._triggered:
+            raise SimulationError("event has not been triggered yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- state transitions --------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._value = value
+        self._triggered = True
+        self.env.schedule(self, delay=0.0, priority=EventPriority.NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise ValidationError(f"fail() needs an exception, got {exception!r}")
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._exception = exception
+        self._triggered = True
+        self.env.schedule(self, delay=0.0, priority=EventPriority.NORMAL)
+        return self
+
+    # -- engine hook ---------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self._triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed virtual-time delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValidationError(f"timeout delay must be >= 0, got {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._triggered = True  # scheduled immediately at construction
+        env.schedule(self, delay=delay, priority=EventPriority.NORMAL)
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events: List[Event] = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise ValidationError("all events must share one Environment")
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                assert ev.callbacks is not None
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            i: ev._value
+            for i, ev in enumerate(self.events)
+            if ev.triggered and ev._exception is None
+        }
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when *all* constituent events have triggered.
+
+    Fails fast if any constituent fails.
+    """
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers when *any* constituent event triggers (or any fails)."""
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self.succeed(self._collect())

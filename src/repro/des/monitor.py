@@ -1,0 +1,94 @@
+"""Time-series monitoring of simulation quantities.
+
+:class:`TimeSeriesMonitor` records ``(time, value)`` observations and
+offers the time-weighted aggregations (mean utilization, integrals)
+needed by the monitoring layer and by tests that assert on resource
+occupancy over a run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.des.engine import Environment
+
+
+class TimeSeriesMonitor:
+    """Step-function recorder keyed on virtual time.
+
+    Observations are interpreted as a right-continuous step function:
+    the value recorded at time ``t`` holds until the next observation.
+    """
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, value: float) -> None:
+        """Record ``value`` at the current virtual time.
+
+        Re-recording at the same instant overwrites the prior value —
+        only the final state of an instant is observable.
+        """
+        now = self.env.now
+        if self._times and now < self._times[-1]:  # pragma: no cover - defensive
+            raise ValidationError("observations must be recorded in time order")
+        if self._times and now == self._times[-1]:
+            self._values[-1] = value
+            return
+        self._times.append(now)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        """Most recent observation, or ``None`` if empty."""
+        if not self._times:
+            return None
+        return self._times[-1], self._values[-1]
+
+    def integral(self, until: Optional[float] = None) -> float:
+        """Integrate the step function from the first observation to ``until``.
+
+        ``until`` defaults to the current virtual time. Useful for
+        core-seconds / byte-seconds style accounting.
+        """
+        if not self._times:
+            return 0.0
+        end = self.env.now if until is None else until
+        if end < self._times[0]:
+            raise ValidationError("integration horizon precedes first observation")
+        total = 0.0
+        for i, start in enumerate(self._times):
+            stop = self._times[i + 1] if i + 1 < len(self._times) else end
+            stop = min(stop, end)
+            if stop <= start:
+                continue
+            total += self._values[i] * (stop - start)
+        return total
+
+    def time_weighted_mean(self, until: Optional[float] = None) -> float:
+        """Time-weighted average value over the observed window."""
+        if not self._times:
+            raise ValidationError("no observations recorded")
+        end = self.env.now if until is None else until
+        span = end - self._times[0]
+        if span <= 0:
+            return self._values[0]
+        return self.integral(until=end) / span

@@ -1,0 +1,125 @@
+"""Generator-backed simulation processes.
+
+A process is a Python generator that yields :class:`~repro.des.events.Event`
+objects. When a yielded event triggers, the engine resumes the
+generator with the event's value (or throws the event's exception).
+A :class:`Process` is itself an event that triggers when the generator
+returns, so processes can wait on each other by yielding them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.des.events import Event, Interrupt
+from repro.util.errors import SimulationError, ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.des.engine import Environment
+
+
+class Process(Event):
+    """A running simulation process (and the event of its completion)."""
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise ValidationError(
+                f"process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Bootstrap: resume once at the current instant.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)  # type: ignore[union-attr]
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        The interrupted process stops waiting on its current event and
+        must handle (or propagate) the exception.
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        target = self._waiting_on
+        if target is not None and not target.processed:
+            # Detach so the original event no longer resumes us.
+            assert target.callbacks is not None
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._waiting_on = None
+        kicker = Event(self.env)
+        kicker.callbacks.append(  # type: ignore[union-attr]
+            lambda _ev: self._throw(Interrupt(cause))
+        )
+        kicker.succeed()
+
+    # -- engine plumbing -----------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        env = self.env
+        prev, env._active_process = env.active_process, self
+        try:
+            if event._exception is not None:
+                target = self._generator.throw(event._exception)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        finally:
+            env._active_process = prev
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        env = self.env
+        prev, env._active_process = env.active_process, self
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self.fail(err)
+            return
+        finally:
+            env._active_process = prev
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process yielded a non-event: {target!r} "
+                    "(yield Timeout/Event/Process instances)"
+                )
+            )
+            return
+        if target.env is not self.env:
+            self.fail(SimulationError("yielded event belongs to another Environment"))
+            return
+        self._waiting_on = target
+        if target.processed:
+            # Already done: resume at the current instant via a kicker event.
+            kicker = Event(self.env)
+            kicker._value = target._value
+            kicker._exception = target._exception
+            kicker.callbacks.append(self._resume)  # type: ignore[union-attr]
+            kicker._triggered = True
+            self.env.schedule(kicker)
+        else:
+            assert target.callbacks is not None
+            target.callbacks.append(self._resume)

@@ -1,0 +1,139 @@
+"""Object stores: producer/consumer queues for the DES engine.
+
+:class:`Store` is an unbounded-or-bounded FIFO of arbitrary Python
+objects. :class:`FilterStore` lets consumers wait for an item matching
+a predicate — the DTL staging area uses this to let an analysis block
+until *its* chunk for step ``i`` arrives.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional
+
+from repro.des.events import Event
+from repro.util.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.des.engine import Environment
+
+
+class StorePut(Event):
+    """Pending insertion of ``item`` into a store."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending retrieval from a store."""
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+
+
+class FilterStoreGet(StoreGet):
+    """Pending retrieval of the first item matching ``predicate``."""
+
+    def __init__(self, store: "Store", predicate: Callable[[Any], bool]) -> None:
+        super().__init__(store)
+        self.predicate = predicate
+
+
+class Store:
+    """FIFO store of Python objects with optional capacity."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = math.inf,
+        name: str = "",
+    ) -> None:
+        if capacity != math.inf:
+            if isinstance(capacity, bool) or int(capacity) != capacity or capacity <= 0:
+                raise ValidationError(
+                    f"capacity must be a positive int or inf: {capacity!r}"
+                )
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._put_waiters: Deque[StorePut] = deque()
+        self._get_waiters: List[StoreGet] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the returned event triggers when it is stored."""
+        ev = StorePut(self, item)
+        self._put_waiters.append(ev)
+        self._dispatch()
+        return ev
+
+    def get(self) -> StoreGet:
+        """Retrieve the oldest item; yield the returned event to wait."""
+        ev = StoreGet(self)
+        self._get_waiters.append(ev)
+        self._dispatch()
+        return ev
+
+    # -- matching logic -----------------------------------------------------
+    def _admit_puts(self) -> bool:
+        moved = False
+        while self._put_waiters and len(self.items) < self.capacity:
+            put = self._put_waiters.popleft()
+            self.items.append(put.item)
+            put.succeed(put.item)
+            moved = True
+        return moved
+
+    def _serve_gets(self) -> bool:
+        served = False
+        remaining: List[StoreGet] = []
+        for get in self._get_waiters:
+            item = self._select(get)
+            if item is not _NO_MATCH:
+                get.succeed(item)
+                served = True
+            else:
+                remaining.append(get)
+        self._get_waiters = remaining
+        return served
+
+    def _select(self, get: StoreGet) -> Any:
+        if isinstance(get, FilterStoreGet):
+            for i, item in enumerate(self.items):
+                if get.predicate(item):
+                    del self.items[i]
+                    return item
+            return _NO_MATCH
+        if self.items:
+            return self.items.popleft()
+        return _NO_MATCH
+
+    def _dispatch(self) -> None:
+        # Alternate until a fixed point: serving a get may free capacity
+        # for a queued put, which may in turn satisfy another get.
+        progressing = True
+        while progressing:
+            progressing = self._admit_puts()
+            progressing = self._serve_gets() or progressing
+
+
+class FilterStore(Store):
+    """A store whose consumers may wait on a predicate."""
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Retrieve the first item matching ``predicate`` (FIFO if None)."""
+        if predicate is None:
+            return super().get()
+        ev = FilterStoreGet(self, predicate)
+        self._get_waiters.append(ev)
+        self._dispatch()
+        return ev
+
+
+_NO_MATCH = object()

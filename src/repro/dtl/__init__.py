@@ -1,0 +1,44 @@
+"""Data Transport Layer (DTL): staging tiers and the chunk abstraction.
+
+The paper's runtime (its Figure 2) interposes a *DTL plugin* between
+ensemble components and a *data transport layer* that may be an
+in-memory staging area (DIMES), a burst buffer, or a parallel file
+system. This subpackage provides all three tiers behind one interface,
+plus the :class:`~repro.dtl.chunk.Chunk` base data representation with
+real byte-level serialization.
+
+Each tier plays two roles at once:
+
+1. **Cost model** — pure functions giving the simulated duration of
+   write (W), read (R), and the overhead a remote read imposes on the
+   producer's node. The discrete-event executor consumes these.
+2. **Functional store** — actual ``stage``/``retrieve`` of chunk
+   objects with the paper's no-buffering protocol (one slot per
+   coupling and step; the producer may not overwrite an unread chunk).
+   The in-process examples run real frame data through this path.
+
+The DIMES-defining behaviour is data locality: chunks live in the
+producer node's memory, so a co-located consumer pays a memory copy
+while a remote consumer pays network latency + bandwidth *and* imposes
+a service cost on the producer (the staging server thread and NIC DMA
+share the producer's resources).
+"""
+
+from repro.dtl.base import DataTransportLayer, StagedChunk, TransferCost
+from repro.dtl.burstbuffer import BurstBufferDTL
+from repro.dtl.chunk import Chunk, ChunkKey
+from repro.dtl.dimes import InMemoryStagingDTL
+from repro.dtl.pfs import ParallelFilesystemDTL
+from repro.dtl.plugin import DTLPlugin
+
+__all__ = [
+    "BurstBufferDTL",
+    "Chunk",
+    "ChunkKey",
+    "DTLPlugin",
+    "DataTransportLayer",
+    "InMemoryStagingDTL",
+    "ParallelFilesystemDTL",
+    "StagedChunk",
+    "TransferCost",
+]

@@ -1,0 +1,64 @@
+"""Burst-buffer staging tier.
+
+Models a shared flash tier (e.g. Cray DataWarp on Cori): both writes
+and reads traverse the interconnect to burst-buffer servers, paying the
+device's sequential bandwidth plus a fixed software latency. Placement
+of producer and consumer no longer matters — which is exactly why this
+tier serves as the locality ablation against
+:class:`~repro.dtl.dimes.InMemoryStagingDTL`: with a burst buffer, the
+co-location benefit measured by the paper disappears, leaving only the
+co-location *penalty* (contention).
+"""
+
+from __future__ import annotations
+
+from repro.dtl.base import DataTransportLayer, TransferCost
+from repro.util.validation import require_non_negative, require_positive
+
+
+class BurstBufferDTL(DataTransportLayer):
+    """Placement-insensitive flash staging tier.
+
+    Parameters
+    ----------
+    write_bandwidth / read_bandwidth:
+        Per-stream device throughput (bytes/s).
+    access_latency:
+        Fixed software + network latency per operation.
+    marshal_bandwidth:
+        Serialization throughput on the calling component.
+    """
+
+    def __init__(
+        self,
+        write_bandwidth: float = 5e9,
+        read_bandwidth: float = 6e9,
+        access_latency: float = 400e-6,
+        marshal_bandwidth: float = 8e9,
+        name: str = "burst-buffer",
+    ) -> None:
+        super().__init__(name)
+        self.write_bandwidth = require_positive("write_bandwidth", write_bandwidth)
+        self.read_bandwidth = require_positive("read_bandwidth", read_bandwidth)
+        self.access_latency = require_non_negative("access_latency", access_latency)
+        self.marshal_bandwidth = require_positive(
+            "marshal_bandwidth", marshal_bandwidth
+        )
+
+    def write_cost(self, producer_node: int, nbytes: float) -> TransferCost:
+        require_non_negative("nbytes", nbytes)
+        return TransferCost(
+            marshal=nbytes / self.marshal_bandwidth,
+            transport=self.access_latency + nbytes / self.write_bandwidth,
+            producer_overhead=0.0,
+        )
+
+    def read_cost(
+        self, producer_node: int, consumer_node: int, nbytes: float
+    ) -> TransferCost:
+        require_non_negative("nbytes", nbytes)
+        return TransferCost(
+            marshal=nbytes / self.marshal_bandwidth,
+            transport=self.access_latency + nbytes / self.read_bandwidth,
+            producer_overhead=0.0,
+        )

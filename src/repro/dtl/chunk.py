@@ -1,0 +1,170 @@
+"""The chunk: base data representation of the runtime.
+
+Per the paper (§2.2), simulations write data "abstracted into a chunk,
+which is the base data representation manipulated within the entire
+runtime", and the DTL plugin "does data marshaling ... the abstract
+chunk is serialized to a buffer of bytes". :class:`Chunk` implements
+exactly that: a typed numpy payload plus identifying metadata, with a
+self-describing binary wire format and CRC32 integrity check.
+
+Wire format (little-endian)::
+
+    magic   4s   b"RPC1"
+    crc     I    CRC32 of everything after this field
+    step    q    in situ step index
+    key     H+s  producer key (length-prefixed utf-8)
+    dtype   H+s  numpy dtype string (length-prefixed utf-8)
+    ndim    B    number of payload dimensions
+    shape   ndim*q
+    meta    I+s  JSON-encoded metadata (length-prefixed utf-8)
+    payload raw bytes (C order)
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.util.errors import DTLError, ValidationError
+
+_MAGIC = b"RPC1"
+_HEADER = struct.Struct("<4sI")
+
+
+@dataclass(frozen=True)
+class ChunkKey:
+    """Identity of a staged chunk: which producer, which step."""
+
+    producer: str
+    step: int
+
+    def __post_init__(self) -> None:
+        if not self.producer:
+            raise ValidationError("producer must be non-empty")
+        if self.step < 0:
+            raise ValidationError(f"step must be >= 0, got {self.step}")
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One unit of staged data: a numpy payload plus metadata.
+
+    Attributes
+    ----------
+    key:
+        Producer identity and step index.
+    payload:
+        The staged array (e.g. a frame of atomic positions). Stored
+        C-contiguous; the constructor copies if needed so a chunk is
+        immutable-by-convention after creation.
+    metadata:
+        Small JSON-serializable dict (units, atom counts, ...).
+    """
+
+    key: ChunkKey
+    payload: np.ndarray
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        arr = np.ascontiguousarray(self.payload)
+        object.__setattr__(self, "payload", arr)
+        try:
+            json.dumps(self.metadata)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"metadata must be JSON-serializable: {exc}")
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (what staging transfers move)."""
+        return int(self.payload.nbytes)
+
+    # -- marshaling --------------------------------------------------------------
+    def serialize(self) -> bytes:
+        """Marshal to the self-describing wire format."""
+        dtype_s = self.payload.dtype.str.encode("utf-8")
+        key_s = self.key.producer.encode("utf-8")
+        meta_s = json.dumps(self.metadata, sort_keys=True).encode("utf-8")
+        body = b"".join(
+            [
+                struct.pack("<q", self.key.step),
+                struct.pack("<H", len(key_s)),
+                key_s,
+                struct.pack("<H", len(dtype_s)),
+                dtype_s,
+                struct.pack("<B", self.payload.ndim),
+                struct.pack(f"<{self.payload.ndim}q", *self.payload.shape),
+                struct.pack("<I", len(meta_s)),
+                meta_s,
+                self.payload.tobytes(order="C"),
+            ]
+        )
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        return _HEADER.pack(_MAGIC, crc) + body
+
+    @staticmethod
+    def deserialize(buffer: bytes) -> "Chunk":
+        """Unmarshal a buffer produced by :meth:`serialize`.
+
+        Raises
+        ------
+        DTLError
+            On bad magic, truncated buffer, or CRC mismatch.
+        """
+        if len(buffer) < _HEADER.size:
+            raise DTLError("buffer too short for chunk header")
+        magic, crc = _HEADER.unpack_from(buffer, 0)
+        if magic != _MAGIC:
+            raise DTLError(f"bad chunk magic: {magic!r}")
+        body = buffer[_HEADER.size :]
+        if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+            raise DTLError("chunk CRC mismatch (corrupted buffer)")
+        off = 0
+        try:
+            (step,) = struct.unpack_from("<q", body, off)
+            off += 8
+            (klen,) = struct.unpack_from("<H", body, off)
+            off += 2
+            producer = body[off : off + klen].decode("utf-8")
+            off += klen
+            (dlen,) = struct.unpack_from("<H", body, off)
+            off += 2
+            dtype = np.dtype(body[off : off + dlen].decode("utf-8"))
+            off += dlen
+            (ndim,) = struct.unpack_from("<B", body, off)
+            off += 1
+            shape: Tuple[int, ...] = struct.unpack_from(f"<{ndim}q", body, off)
+            off += 8 * ndim
+            (mlen,) = struct.unpack_from("<I", body, off)
+            off += 4
+            metadata = json.loads(body[off : off + mlen].decode("utf-8"))
+            off += mlen
+            count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
+            payload = np.frombuffer(
+                body, dtype=dtype, count=count, offset=off
+            ).reshape(shape)
+        except (struct.error, UnicodeDecodeError, TypeError, ValueError) as exc:
+            raise DTLError(f"malformed chunk body: {exc}") from exc
+        return Chunk(
+            key=ChunkKey(producer=producer, step=step),
+            payload=payload.copy(),
+            metadata=metadata,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Chunk):
+            return NotImplemented
+        return (
+            self.key == other.key
+            and self.metadata == other.metadata
+            and self.payload.shape == other.payload.shape
+            and self.payload.dtype == other.payload.dtype
+            and bool(np.array_equal(self.payload, other.payload))
+        )
+
+    def __hash__(self) -> int:  # chunks identified by key for set/dict use
+        return hash(self.key)

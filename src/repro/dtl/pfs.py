@@ -1,0 +1,79 @@
+"""Parallel-filesystem staging tier (the post-processing baseline).
+
+The slowest tier: every operation crosses the interconnect to a shared
+filesystem whose aggregate bandwidth is divided among concurrent
+clients, with metadata latency per operation. This is the traditional
+loosely-coupled pathway whose I/O bottleneck motivated in situ
+processing in the first place (paper §1); it exists here so examples
+and ablations can quantify the gap the in-memory tier closes.
+"""
+
+from __future__ import annotations
+
+from repro.dtl.base import DataTransportLayer, TransferCost
+from repro.util.validation import (
+    require_non_negative,
+    require_positive,
+    require_positive_int,
+)
+
+
+class ParallelFilesystemDTL(DataTransportLayer):
+    """Shared-filesystem tier with client-count bandwidth division.
+
+    Parameters
+    ----------
+    aggregate_bandwidth:
+        Total filesystem bandwidth (bytes/s) shared by all clients.
+    concurrent_clients:
+        How many components are assumed to hit the filesystem at once;
+        each stream receives ``aggregate_bandwidth / concurrent_clients``.
+    metadata_latency:
+        Per-operation open/close + metadata server round trip.
+    marshal_bandwidth:
+        Serialization throughput on the calling component.
+    """
+
+    def __init__(
+        self,
+        aggregate_bandwidth: float = 50e9,
+        concurrent_clients: int = 1,
+        metadata_latency: float = 5e-3,
+        marshal_bandwidth: float = 8e9,
+        name: str = "pfs",
+    ) -> None:
+        super().__init__(name)
+        self.aggregate_bandwidth = require_positive(
+            "aggregate_bandwidth", aggregate_bandwidth
+        )
+        self.concurrent_clients = require_positive_int(
+            "concurrent_clients", concurrent_clients
+        )
+        self.metadata_latency = require_non_negative(
+            "metadata_latency", metadata_latency
+        )
+        self.marshal_bandwidth = require_positive(
+            "marshal_bandwidth", marshal_bandwidth
+        )
+
+    @property
+    def per_stream_bandwidth(self) -> float:
+        return self.aggregate_bandwidth / self.concurrent_clients
+
+    def write_cost(self, producer_node: int, nbytes: float) -> TransferCost:
+        require_non_negative("nbytes", nbytes)
+        return TransferCost(
+            marshal=nbytes / self.marshal_bandwidth,
+            transport=self.metadata_latency + nbytes / self.per_stream_bandwidth,
+            producer_overhead=0.0,
+        )
+
+    def read_cost(
+        self, producer_node: int, consumer_node: int, nbytes: float
+    ) -> TransferCost:
+        require_non_negative("nbytes", nbytes)
+        return TransferCost(
+            marshal=nbytes / self.marshal_bandwidth,
+            transport=self.metadata_latency + nbytes / self.per_stream_bandwidth,
+            producer_overhead=0.0,
+        )

@@ -1,0 +1,64 @@
+"""Experiment harness: one module per paper figure.
+
+Each module regenerates the data behind one of the paper's evaluation
+artifacts, returning a structured :class:`~repro.experiments.base
+.ExperimentResult` with a text rendering. The benchmark suite under
+``benchmarks/`` times these and asserts the paper's qualitative
+orderings; ``EXPERIMENTS.md`` records paper-vs-measured per artifact.
+
+- :mod:`repro.experiments.fig3` — component-level metrics across
+  Table 2 configurations.
+- :mod:`repro.experiments.fig4` — ensemble member makespans.
+- :mod:`repro.experiments.fig5` — workflow ensemble makespans.
+- :mod:`repro.experiments.fig7` — §3.4 analysis-core sweep.
+- :mod:`repro.experiments.fig8` — F(P) over both stage orders,
+  configuration set 1 (one analysis per simulation).
+- :mod:`repro.experiments.fig9` — F(P) over both stage orders,
+  configuration set 2 (two analyses per simulation).
+- :mod:`repro.experiments.headline` — the co-location improvement
+  spread (abstract's "up to four orders of magnitude" claim).
+- :mod:`repro.experiments.ablation` — design-choice ablations
+  (contention model, data locality, progress tax).
+"""
+
+from repro.experiments.base import (
+    ExperimentResult,
+    run_configuration,
+    run_configuration_trials,
+)
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.headline import run_headline
+from repro.experiments.ablation import (
+    run_contention_ablation,
+    run_locality_ablation,
+    run_tax_ablation,
+)
+from repro.experiments.heterogeneous import run_heterogeneous
+from repro.experiments.scaling import run_scaling
+from repro.experiments.stride import run_stride_sweep
+from repro.experiments.tiers import run_tier_matrix
+
+__all__ = [
+    "ExperimentResult",
+    "run_configuration",
+    "run_configuration_trials",
+    "run_contention_ablation",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_headline",
+    "run_heterogeneous",
+    "run_locality_ablation",
+    "run_scaling",
+    "run_stride_sweep",
+    "run_tax_ablation",
+    "run_tier_matrix",
+]

@@ -1,0 +1,109 @@
+"""Figure 7: the §3.4 analysis-core sweep.
+
+With the simulation fixed at the user-provided settings (16 cores,
+stride 800), sweep the analysis core count 1..32 in the co-location-
+free placement and report, per count: the in situ step ``sigma*``, the
+simulation side ``S* + W*``, the analysis side ``R* + A*``, and the
+computational efficiency ``E``.
+
+Paper claims (checked by ``benchmarks/test_bench_fig7.py``): at 1-4
+cores the analysis outlasts the simulation (``sigma* = R* + A*``, Idle
+Simulation); from 8 cores on Eq. 4 holds and ``sigma*`` is minimized;
+``E`` peaks at 8 cores, which is what the heuristic selects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.components.analysis import EigenAnalysisModel
+from repro.components.simulation import MDSimulationModel
+from repro.core.heuristic import (
+    CoreAllocationChoice,
+    choose_analysis_cores,
+)
+from repro.core.stages import MemberStages
+from repro.experiments.base import ExperimentResult
+from repro.runtime.analytic import predict_member_stages
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec, MemberSpec
+
+COLUMNS = [
+    "analysis_cores",
+    "sigma",
+    "simulation_active",
+    "analysis_active",
+    "efficiency",
+    "feasible",
+]
+
+DEFAULT_CORE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def _member_evaluator(
+    sim_cores: int,
+    stride: int,
+    natoms: int,
+):
+    """Build the Cf-placement stage evaluator the heuristic sweeps."""
+
+    def evaluate(analysis_cores: int) -> MemberStages:
+        sim = MDSimulationModel(
+            "sweep.sim", cores=sim_cores, natoms=natoms, stride=stride
+        )
+        ana = EigenAnalysisModel("sweep.ana", cores=analysis_cores, natoms=natoms)
+        spec = EnsembleSpec(
+            "sweep",
+            (MemberSpec("member", sim, (ana,), n_steps=1),),
+        )
+        placement = EnsemblePlacement(
+            num_nodes=2, members=(MemberPlacement(0, (1,)),)
+        )
+        return predict_member_stages(spec, placement)["member"]
+
+    return evaluate
+
+
+def run_fig7(
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+    sim_cores: int = 16,
+    stride: int = 800,
+    natoms: int = 250_000,
+) -> ExperimentResult:
+    """Regenerate Figure 7's data: the analysis-core sweep."""
+    choice = heuristic_choice(core_counts, sim_cores, stride, natoms)
+    rows: List[Dict] = [
+        {
+            "analysis_cores": p.cores,
+            "sigma": p.sigma,
+            "simulation_active": p.simulation_active,
+            "analysis_active": p.analysis_active,
+            "efficiency": p.efficiency,
+            "feasible": p.feasible,
+        }
+        for p in choice.sweep
+    ]
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="In situ step and efficiency vs analysis core count (§3.4)",
+        columns=COLUMNS,
+        rows=rows,
+        notes=f"heuristic selects {choice.cores} cores "
+        f"(E = {choice.point.efficiency:.3f})",
+    )
+
+
+def heuristic_choice(
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+    sim_cores: int = 16,
+    stride: int = 800,
+    natoms: int = 250_000,
+) -> CoreAllocationChoice:
+    """The §3.4 heuristic's selection over the sweep."""
+    evaluate = _member_evaluator(sim_cores, stride, natoms)
+    choice = choose_analysis_cores(evaluate, core_counts)
+    if choice is None:
+        raise RuntimeError(
+            "no analysis core count satisfies Eq. 4 for these settings"
+        )
+    return choice

@@ -1,0 +1,45 @@
+"""Monitoring: stage traces, synthetic hardware counters, Table-1 metrics.
+
+Stands in for the paper's TAU-based measurement stack. The executor
+emits a :class:`~repro.monitoring.tracer.StageTracer` timeline of every
+fine-grained stage; :mod:`repro.monitoring.counters` synthesizes
+hardware counters (instructions, cycles, LLC references/misses) from
+each component's workload profile and its contention assessment; and
+:mod:`repro.monitoring.metrics` computes the paper's Table 1 metric set
+at all three granularities (ensemble component, ensemble member,
+workflow ensemble).
+"""
+
+from repro.monitoring.counters import HardwareCounters, synthesize_counters
+from repro.monitoring.metrics import (
+    ComponentMetrics,
+    EnsembleMetrics,
+    MemberMetrics,
+    component_metrics,
+    ensemble_makespan,
+)
+from repro.monitoring.report import gantt, summary_report
+from repro.monitoring.tracer import Stage, StageRecord, StageTracer
+from repro.monitoring.traceio import (
+    load_trace,
+    member_stages_from_trace,
+    save_trace,
+)
+
+__all__ = [
+    "ComponentMetrics",
+    "EnsembleMetrics",
+    "HardwareCounters",
+    "MemberMetrics",
+    "Stage",
+    "StageRecord",
+    "StageTracer",
+    "component_metrics",
+    "ensemble_makespan",
+    "gantt",
+    "load_trace",
+    "member_stages_from_trace",
+    "save_trace",
+    "summary_report",
+    "synthesize_counters",
+]

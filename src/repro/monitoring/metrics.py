@@ -1,0 +1,93 @@
+"""The paper's Table 1 metric set at three granularities.
+
+- **Ensemble component**: execution time, LLC miss ratio, memory
+  intensity, instructions per cycle.
+- **Ensemble member**: makespan — "timespan between simulation start
+  time and the latest analysis end time".
+- **Workflow ensemble**: makespan — maximum member makespan (all
+  members start simultaneously).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from repro.monitoring.counters import HardwareCounters
+from repro.monitoring.tracer import StageTracer
+from repro.util.errors import ValidationError
+from repro.util.validation import require_non_negative
+
+
+@dataclass(frozen=True)
+class ComponentMetrics:
+    """Table 1, component level."""
+
+    component: str
+    execution_time: float
+    llc_miss_ratio: float
+    memory_intensity: float
+    ipc: float
+
+    def __post_init__(self) -> None:
+        require_non_negative("execution_time", self.execution_time)
+        require_non_negative("llc_miss_ratio", self.llc_miss_ratio)
+        require_non_negative("memory_intensity", self.memory_intensity)
+        require_non_negative("ipc", self.ipc)
+
+
+@dataclass(frozen=True)
+class MemberMetrics:
+    """Table 1, member level."""
+
+    member: str
+    makespan: float
+
+    def __post_init__(self) -> None:
+        require_non_negative("makespan", self.makespan)
+
+
+@dataclass(frozen=True)
+class EnsembleMetrics:
+    """Table 1, workflow ensemble level."""
+
+    makespan: float
+    member_makespans: Dict[str, float]
+
+
+def component_metrics(
+    component: str,
+    tracer: StageTracer,
+    counters: HardwareCounters,
+) -> ComponentMetrics:
+    """Component-level metrics from its trace span and counters."""
+    start, end = tracer.component_span(component)
+    return ComponentMetrics(
+        component=component,
+        execution_time=end - start,
+        llc_miss_ratio=counters.llc_miss_ratio,
+        memory_intensity=counters.memory_intensity,
+        ipc=counters.ipc,
+    )
+
+
+def member_makespan_from_trace(
+    member: str,
+    simulation: str,
+    analyses: Sequence[str],
+    tracer: StageTracer,
+) -> MemberMetrics:
+    """Member makespan: simulation start to latest analysis end."""
+    if not analyses:
+        raise ValidationError("a member needs at least one analysis")
+    sim_start, _ = tracer.component_span(simulation)
+    latest_end = max(tracer.component_span(a)[1] for a in analyses)
+    return MemberMetrics(member=member, makespan=latest_end - sim_start)
+
+
+def ensemble_makespan(member_metrics: Mapping[str, MemberMetrics]) -> EnsembleMetrics:
+    """Ensemble makespan: the maximum member makespan."""
+    if not member_metrics:
+        raise ValidationError("at least one member required")
+    spans = {name: m.makespan for name, m in member_metrics.items()}
+    return EnsembleMetrics(makespan=max(spans.values()), member_makespans=spans)

@@ -1,0 +1,117 @@
+"""Human-readable reports over execution results.
+
+Two renderers:
+
+- :func:`gantt` — an ASCII timeline of every component's stages over a
+  window of the run, the visual equivalent of the paper's Figure 6
+  (compute / IO / idle per in situ step);
+- :func:`summary_report` — the full Table-1 metric set plus per-member
+  efficiency and indicators, as one formatted block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.indicators import IndicatorStage
+from repro.monitoring.tracer import Stage, StageRecord, StageTracer
+from repro.runtime.results import ExecutionResult
+from repro.util.errors import ValidationError
+from repro.util.units import format_time
+from repro.util.validation import require_positive_int
+
+#: one glyph per stage kind, matching the paper's S/W/R/A/I notation.
+STAGE_GLYPHS: Dict[Stage, str] = {
+    Stage.SIM_COMPUTE: "S",
+    Stage.SIM_IDLE: ".",
+    Stage.SIM_WRITE: "W",
+    Stage.ANA_READ: "R",
+    Stage.ANA_COMPUTE: "A",
+    Stage.ANA_IDLE: ".",
+}
+
+
+def gantt(
+    tracer: StageTracer,
+    components: Optional[Sequence[str]] = None,
+    width: int = 80,
+    until: Optional[float] = None,
+) -> str:
+    """Render an ASCII Gantt chart of the traced stages.
+
+    Each row is a component; each column a time bucket labeled with the
+    glyph of the stage occupying most of that bucket (``.`` = idle,
+    space = not yet started / finished).
+    """
+    require_positive_int("width", width)
+    names = list(components) if components is not None else tracer.components
+    if not names:
+        raise ValidationError("no components to render")
+    spans = [tracer.component_span(name) for name in names]
+    t_end = until if until is not None else max(end for _, end in spans)
+    t_start = 0.0
+    if t_end <= t_start:
+        raise ValidationError("empty time window")
+    bucket = (t_end - t_start) / width
+
+    label_w = max(len(n) for n in names) + 1
+    lines = [
+        f"{'':{label_w}}0{' ' * (width - len(format_time(t_end)) - 1)}"
+        f"{format_time(t_end)}"
+    ]
+    for name in names:
+        records = tracer.of_component(name)
+        row = []
+        for i in range(width):
+            lo = t_start + i * bucket
+            hi = lo + bucket
+            best: Optional[StageRecord] = None
+            best_overlap = 0.0
+            for rec in records:
+                overlap = min(rec.end, hi) - max(rec.start, lo)
+                if overlap > best_overlap:
+                    best_overlap = overlap
+                    best = rec
+            row.append(STAGE_GLYPHS[best.stage] if best else " ")
+        lines.append(f"{name:{label_w}}{''.join(row)}")
+    lines.append(
+        f"{'':{label_w}}S=sim compute  W=write  R=read  A=analyze  .=idle"
+    )
+    return "\n".join(lines)
+
+
+def summary_report(
+    result: ExecutionResult,
+    indicator_order: Sequence[IndicatorStage] = (
+        IndicatorStage.USAGE,
+        IndicatorStage.ALLOCATION,
+        IndicatorStage.PROVISIONING,
+    ),
+) -> str:
+    """Format an execution result as a full text report."""
+    lines: List[str] = [
+        f"=== {result.ensemble_name}: {len(result.members)} members on "
+        f"{result.total_nodes} nodes ===",
+        f"ensemble makespan: {format_time(result.ensemble_makespan)}",
+        "",
+        "member                makespan        E      P(final)",
+    ]
+    indicators = result.indicator_values(indicator_order)
+    for member in result.members:
+        lines.append(
+            f"  {member.name:18s} {format_time(member.makespan):>10}  "
+            f"{member.efficiency:6.3f}  {indicators[member.name]:.6f}"
+        )
+    label = ",".join(s.value for s in indicator_order)
+    lines.append(f"F(P^{{{label}}}) = {result.objective(indicator_order):.6f}")
+    lines.append("")
+    lines.append(
+        "component             exec time   LLC miss   mem-int     IPC"
+    )
+    for name, cm in result.component_metrics.items():
+        lines.append(
+            f"  {name:18s} {format_time(cm.execution_time):>10}  "
+            f"{cm.llc_miss_ratio:9.3f}  {cm.memory_intensity:.2e}  "
+            f"{cm.ipc:6.3f}"
+        )
+    return "\n".join(lines)

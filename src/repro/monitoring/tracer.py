@@ -1,0 +1,122 @@
+"""Stage-level execution tracing.
+
+The executor records one :class:`StageRecord` per fine-grained stage
+per in situ step — the raw material for steady-state estimation
+(:func:`repro.core.stages.estimate_steady_state`), for the Table-1
+metrics, and for the protocol-ordering assertions in the test suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.errors import ValidationError
+
+
+class Stage(enum.Enum):
+    """The paper's six fine-grained stages (§3.1)."""
+
+    SIM_COMPUTE = "S"
+    SIM_IDLE = "I_S"
+    SIM_WRITE = "W"
+    ANA_READ = "R"
+    ANA_COMPUTE = "A"
+    ANA_IDLE = "I_A"
+
+
+#: stages belonging to the simulation side, in intra-step order.
+SIMULATION_STAGES: Tuple[Stage, ...] = (
+    Stage.SIM_COMPUTE,
+    Stage.SIM_IDLE,
+    Stage.SIM_WRITE,
+)
+#: stages belonging to the analysis side, in intra-step order.
+ANALYSIS_STAGES: Tuple[Stage, ...] = (
+    Stage.ANA_READ,
+    Stage.ANA_COMPUTE,
+    Stage.ANA_IDLE,
+)
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One stage execution: who, what, when."""
+
+    component: str
+    stage: Stage
+    step: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not self.component:
+            raise ValidationError("component must be non-empty")
+        if self.step < 0:
+            raise ValidationError(f"step must be >= 0, got {self.step}")
+        if self.end < self.start:
+            raise ValidationError(
+                f"stage ends ({self.end}) before it starts ({self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class StageTracer:
+    """Collects stage records during a run and serves queries over them."""
+
+    def __init__(self) -> None:
+        self._records: List[StageRecord] = []
+        self._by_component: Dict[str, List[StageRecord]] = {}
+
+    def record(
+        self, component: str, stage: Stage, step: int, start: float, end: float
+    ) -> StageRecord:
+        """Append one stage record."""
+        rec = StageRecord(component, stage, step, start, end)
+        self._records.append(rec)
+        self._by_component.setdefault(component, []).append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[StageRecord]:
+        """All records in insertion order."""
+        return list(self._records)
+
+    @property
+    def components(self) -> List[str]:
+        return list(self._by_component)
+
+    def of_component(self, component: str) -> List[StageRecord]:
+        """All records of one component (insertion order)."""
+        if component not in self._by_component:
+            raise ValidationError(f"no records for component {component!r}")
+        return list(self._by_component[component])
+
+    def durations(self, component: str, stage: Stage) -> List[float]:
+        """Per-step durations of one component's stage, ordered by step."""
+        recs = [r for r in self.of_component(component) if r.stage == stage]
+        recs.sort(key=lambda r: r.step)
+        return [r.duration for r in recs]
+
+    def stage_end(self, component: str, stage: Stage, step: int) -> Optional[float]:
+        """End time of a specific stage instance (None if absent)."""
+        for r in self._by_component.get(component, ()):
+            if r.stage == stage and r.step == step:
+                return r.end
+        return None
+
+    def component_span(self, component: str) -> Tuple[float, float]:
+        """(first start, last end) over all of a component's records."""
+        recs = self.of_component(component)
+        return min(r.start for r in recs), max(r.end for r in recs)
+
+    def num_steps(self, component: str) -> int:
+        """Number of distinct steps a component recorded."""
+        return len({r.step for r in self.of_component(component)})

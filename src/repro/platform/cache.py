@@ -1,0 +1,51 @@
+"""Last-level cache description.
+
+Only the attributes that the contention model consumes are modeled:
+capacity (drives occupancy pressure) and line size (converts miss
+counts into memory-bandwidth demand). Associativity is carried for
+documentation/spec fidelity but does not enter the analytic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MIB, format_bytes
+from repro.util.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """A shared last-level cache.
+
+    Attributes
+    ----------
+    size_bytes:
+        Total capacity of the cache.
+    line_bytes:
+        Cache-line size; each LLC miss moves one line from DRAM.
+    associativity:
+        Set associativity (informational).
+    """
+
+    size_bytes: int = 40 * MIB
+    line_bytes: int = 64
+    associativity: int = 20
+
+    def __post_init__(self) -> None:
+        require_positive_int("size_bytes", self.size_bytes)
+        require_positive_int("line_bytes", self.line_bytes)
+        require_positive_int("associativity", self.associativity)
+        if self.line_bytes > self.size_bytes:
+            raise ValueError("line_bytes cannot exceed size_bytes")
+
+    @property
+    def num_lines(self) -> int:
+        """Number of cache lines the cache can hold."""
+        return self.size_bytes // self.line_bytes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LLC {format_bytes(self.size_bytes)}, "
+            f"{self.line_bytes} B lines, {self.associativity}-way"
+        )

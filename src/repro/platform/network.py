@@ -1,0 +1,101 @@
+"""Dragonfly-style interconnect model.
+
+Cori's Aries network is a three-level dragonfly: nodes attach to
+routers, routers form all-to-all *groups*, and groups are linked by
+global links. For staging-transfer costs the relevant behaviour is the
+hop count of a minimal route:
+
+- same node: no network at all (handled by the DTL as a memory copy);
+- same router: 1 hop;
+- same group: 2 hops (router -> router);
+- different groups: up to 5 hops (router -> gateway -> global link ->
+  gateway -> router) under minimal routing.
+
+Transfer time = per-message latency (base + per-hop) + size / link
+bandwidth. Congestion between concurrent transfers is not modeled — in
+the paper's workloads each analysis reads from one simulation, so
+staging reads do not share links in a way that changes the orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.util.units import MICROSECONDS
+from repro.util.validation import (
+    require_non_negative,
+    require_positive,
+    require_positive_int,
+)
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Parameters of the dragonfly interconnect."""
+
+    nodes_per_router: int = 4
+    routers_per_group: int = 16
+    link_bandwidth: float = 10e9  # bytes/s per direction
+    base_latency: float = 1.0 * MICROSECONDS
+    per_hop_latency: float = 0.15 * MICROSECONDS
+
+    def __post_init__(self) -> None:
+        require_positive_int("nodes_per_router", self.nodes_per_router)
+        require_positive_int("routers_per_group", self.routers_per_group)
+        require_positive("link_bandwidth", self.link_bandwidth)
+        require_non_negative("base_latency", self.base_latency)
+        require_non_negative("per_hop_latency", self.per_hop_latency)
+
+    @property
+    def nodes_per_group(self) -> int:
+        return self.nodes_per_router * self.routers_per_group
+
+
+class DragonflyNetwork:
+    """Minimal-routing dragonfly with deterministic node placement.
+
+    Node ``i`` attaches to router ``i // nodes_per_router`` inside group
+    ``i // nodes_per_group`` — consecutive node indexes are
+    topologically close, matching how batch allocations on real systems
+    tend to be compact.
+    """
+
+    def __init__(self, spec: NetworkSpec | None = None) -> None:
+        self.spec = spec or NetworkSpec()
+
+    def coordinates(self, node_index: int) -> Tuple[int, int]:
+        """(group, router-within-group) of a node."""
+        if node_index < 0:
+            raise ValueError(f"node index must be >= 0, got {node_index}")
+        group = node_index // self.spec.nodes_per_group
+        router = (node_index % self.spec.nodes_per_group) // self.spec.nodes_per_router
+        return group, router
+
+    def hops(self, src: int, dst: int) -> int:
+        """Router-to-router hops of a minimal route (0 for same node)."""
+        if src == dst:
+            return 0
+        sg, sr = self.coordinates(src)
+        dg, dr = self.coordinates(dst)
+        if sg == dg:
+            return 1 if sr == dr else 2
+        return 5  # minimal inter-group route: local, global, local
+
+    def latency(self, src: int, dst: int) -> float:
+        """Per-message latency between two nodes (0 for same node)."""
+        h = self.hops(src, dst)
+        if h == 0:
+            return 0.0
+        return self.spec.base_latency + h * self.spec.per_hop_latency
+
+    def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` from ``src`` to ``dst``.
+
+        Same-node transfers return 0 — the DTL charges those against
+        node memory bandwidth instead.
+        """
+        require_non_negative("nbytes", nbytes)
+        if src == dst:
+            return 0.0
+        return self.latency(src, dst) + nbytes / self.spec.link_bandwidth

@@ -1,0 +1,49 @@
+"""Workflow ensemble runtime: specs, placement, execution.
+
+The runtime mirrors the paper's Figure 2 architecture: ensemble
+components talk to a data transport layer through plugin-mediated
+chunk staging, coordinated by the synchronous no-buffering protocol.
+Execution is simulated on the modeled platform by a discrete-event
+executor; a closed-form analytic predictor shares the same effective
+stage-time model and is cross-validated against the executor in the
+test suite.
+
+Public entry points:
+
+- :func:`~repro.runtime.runner.run_ensemble` — run a configured
+  ensemble end to end, returning an
+  :class:`~repro.runtime.results.ExecutionResult` (traces, metrics,
+  member measurements, indicators input).
+- :func:`~repro.runtime.analytic.predict_member_stages` — fast
+  steady-state prediction without discrete-event execution.
+"""
+
+from repro.runtime.analytic import predict_member_stages
+from repro.runtime.compare import (
+    PlacementComparison,
+    compare_placements,
+    render_comparison,
+)
+from repro.runtime.effective import EffectiveMember, compute_effective_stages
+from repro.runtime.executor import EnsembleExecutor
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.results import ExecutionResult, MemberResult
+from repro.runtime.runner import run_ensemble
+from repro.runtime.spec import EnsembleSpec, MemberSpec
+
+__all__ = [
+    "EffectiveMember",
+    "EnsembleExecutor",
+    "EnsemblePlacement",
+    "EnsembleSpec",
+    "ExecutionResult",
+    "MemberPlacement",
+    "MemberResult",
+    "MemberSpec",
+    "PlacementComparison",
+    "compare_placements",
+    "compute_effective_stages",
+    "predict_member_stages",
+    "render_comparison",
+    "run_ensemble",
+]

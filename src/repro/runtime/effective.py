@@ -1,0 +1,161 @@
+"""Effective stage times under a placement.
+
+This module computes, for every component, the stage durations the
+platform model predicts for a given placement — the single source of
+truth shared by the analytic predictor and the discrete-event executor:
+
+- ``S_eff`` — the simulation's solo compute time, dilated by the
+  contention assessment of its node, further stretched by the DIMES
+  progress-thread tax when it serves remote consumers, plus the per-op
+  producer overhead of each remote read;
+- ``W_eff`` — the DTL write cost (marshal + transport);
+- ``R_eff[j]`` — the DTL read cost of analysis ``j`` (locality
+  sensitive);
+- ``A_eff[j]`` — analysis ``j``'s solo compute time, dilated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.dtl.base import DataTransportLayer
+from repro.platform.cluster import Cluster
+from repro.platform.contention import ContentionAssessment
+from repro.runtime.placement import EnsemblePlacement
+from repro.runtime.spec import EnsembleSpec
+from repro.util.errors import PlacementError
+
+
+@dataclass(frozen=True)
+class EffectiveComponent:
+    """One component's effective per-step stage model.
+
+    ``transport_time`` is the share of ``io_time`` spent on the
+    network (nonzero only for remote reads) — the portion that
+    serializes on the producer's NIC when the executor runs in
+    congestion-aware mode.
+    """
+
+    name: str
+    node: int
+    compute_time: float  # S_eff or A_eff
+    io_time: float  # W_eff or R_eff
+    assessment: ContentionAssessment
+    transport_time: float = 0.0
+    producer_node: int = -1  # whose NIC a remote read occupies
+
+
+@dataclass(frozen=True)
+class EffectiveMember:
+    """Effective stage times of one member under a placement."""
+
+    name: str
+    simulation: EffectiveComponent
+    analyses: Tuple[EffectiveComponent, ...]
+    n_steps: int
+    total_cores: int
+
+
+def compute_effective_stages(
+    spec: EnsembleSpec,
+    placement: EnsemblePlacement,
+    cluster: Cluster,
+    dtl: DataTransportLayer,
+    allow_oversubscription: bool = False,
+) -> List[EffectiveMember]:
+    """Place the ensemble on the cluster and evaluate stage times.
+
+    The cluster is reset, all components are allocated (making
+    contention a static property of the placement — all components run
+    concurrently for the whole execution), the node-level contention
+    model is assessed once, and DTL costs are evaluated per coupling.
+    """
+    placement.validate_against(
+        spec,
+        cluster.node_spec.cores,
+        allow_oversubscription=allow_oversubscription,
+    )
+    if placement.num_nodes > cluster.num_nodes:
+        raise PlacementError(
+            f"placement spans {placement.num_nodes} nodes, cluster has "
+            f"{cluster.num_nodes}"
+        )
+    cluster.reset()
+
+    # 1. allocate everything
+    for member_spec, mp in zip(spec.members, placement.members):
+        cluster.node(mp.simulation_node).allocate(
+            member_spec.simulation.name,
+            member_spec.simulation.cores,
+            member_spec.simulation.profile,
+            allow_oversubscription=allow_oversubscription,
+        )
+        for ana, node in zip(member_spec.analyses, mp.analysis_nodes):
+            cluster.node(node).allocate(
+                ana.name,
+                ana.cores,
+                ana.profile,
+                allow_oversubscription=allow_oversubscription,
+            )
+
+    # 2. one static contention assessment per component
+    assessments: Dict[str, ContentionAssessment] = cluster.assess_all()
+
+    # 3. per-member effective stage times
+    progress_tax = getattr(dtl, "producer_progress_tax", 0.0)
+    members: List[EffectiveMember] = []
+    for member_spec, mp in zip(spec.members, placement.members):
+        sim_model = member_spec.simulation
+        sim_assess = assessments[sim_model.name]
+        payload = sim_model.payload_bytes()
+
+        remote_consumers = [
+            node for node in mp.analysis_nodes if node != mp.simulation_node
+        ]
+        per_op_overhead = sum(
+            dtl.read_cost(mp.simulation_node, node, payload).producer_overhead
+            for node in remote_consumers
+        )
+        s_eff = (
+            sim_model.solo_compute_time()
+            * sim_assess.dilation
+            * (1.0 + progress_tax * len(remote_consumers))
+            + per_op_overhead
+        )
+        w_eff = dtl.write_cost(mp.simulation_node, payload).total
+        sim_effective = EffectiveComponent(
+            name=sim_model.name,
+            node=mp.simulation_node,
+            compute_time=s_eff,
+            io_time=w_eff,
+            assessment=sim_assess,
+        )
+
+        analyses: List[EffectiveComponent] = []
+        for ana_model, node in zip(member_spec.analyses, mp.analysis_nodes):
+            ana_assess = assessments[ana_model.name]
+            read = dtl.read_cost(mp.simulation_node, node, payload)
+            is_remote = node != mp.simulation_node
+            analyses.append(
+                EffectiveComponent(
+                    name=ana_model.name,
+                    node=node,
+                    compute_time=ana_model.solo_compute_time()
+                    * ana_assess.dilation,
+                    io_time=read.total,
+                    assessment=ana_assess,
+                    transport_time=read.transport if is_remote else 0.0,
+                    producer_node=mp.simulation_node,
+                )
+            )
+        members.append(
+            EffectiveMember(
+                name=member_spec.name,
+                simulation=sim_effective,
+                analyses=tuple(analyses),
+                n_steps=member_spec.n_steps,
+                total_cores=member_spec.total_cores,
+            )
+        )
+    return members

@@ -1,0 +1,294 @@
+"""Discrete-event execution of a workflow ensemble.
+
+Implements the synchronous coupling protocol of §2.1/§3.1 as DES
+processes over the effective stage times:
+
+- the simulation runs ``S -> I^S -> W`` each step, where ``I^S`` waits
+  until every coupled analysis has finished *reading* the previous
+  step's chunk (``W_{i+1}`` strictly after all ``R_i`` — the
+  no-buffering rule);
+- each analysis runs ``R -> A -> I^A``, where ``R_i`` can begin only
+  once ``W_i`` completed, and ``I^A`` waits for the next write.
+
+Every stage instance is recorded into a
+:class:`~repro.monitoring.tracer.StageTracer`. Optional multiplicative
+timing noise (seeded) perturbs each stage instance independently,
+modeling step-to-step variation; with zero noise the run is exactly
+the analytic steady state after the first step.
+
+With ``stage_real_chunks=True`` the execution additionally pushes real
+(small) chunk payloads through the DTL's functional store in lockstep
+with the simulated time: the W stage stages a chunk, each R stage
+retrieves and verifies it, and the DTL's own no-buffering checks police
+the protocol *during* the run. This mode proves the timing model and
+the data path implement the same protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.des.engine import Environment
+from repro.des.events import Event
+from repro.des.resources import Resource
+from repro.dtl.base import DataTransportLayer
+from repro.dtl.chunk import Chunk, ChunkKey
+from repro.dtl.dimes import InMemoryStagingDTL
+from repro.monitoring.tracer import Stage, StageTracer
+from repro.platform.cluster import Cluster
+from repro.platform.specs import make_cori_like_cluster
+from repro.runtime.effective import EffectiveMember, compute_effective_stages
+from repro.runtime.placement import EnsemblePlacement
+from repro.runtime.results import ExecutionResult, build_result
+from repro.runtime.spec import EnsembleSpec
+from repro.util.errors import ProtocolError
+from repro.util.rng import RandomSource
+from repro.util.validation import require_non_negative
+
+
+class EnsembleExecutor:
+    """Runs one workflow ensemble configuration end to end.
+
+    Parameters
+    ----------
+    spec / placement:
+        What to run and where.
+    cluster:
+        Platform model; defaults to a Cori-like allocation sized to the
+        placement.
+    dtl:
+        Staging tier; defaults to the DIMES-like in-memory tier wired
+        to the cluster.
+    seed:
+        Seed for the timing-noise streams (one independent stream per
+        component).
+    timing_noise:
+        Relative half-width of per-stage multiplicative jitter
+        (0 = deterministic).
+    stage_real_chunks:
+        When True, every W/R stage also performs a real chunk
+        stage/retrieve against the DTL store (small sentinel payloads),
+        so protocol violations surface as failures during execution.
+    congestion_aware:
+        When True, the network-transport share of every remote read
+        serializes on the producer node's NIC (a capacity-1 DES
+        resource per node): concurrent remote reads from one node
+        queue instead of proceeding in parallel. Off by default — at
+        the paper's chunk sizes transport is negligible, but for large
+        payloads the serialization visibly stretches R.
+    """
+
+    def __init__(
+        self,
+        spec: EnsembleSpec,
+        placement: EnsemblePlacement,
+        cluster: Optional[Cluster] = None,
+        dtl: Optional[DataTransportLayer] = None,
+        seed: Optional[int] = 0,
+        timing_noise: float = 0.0,
+        allow_oversubscription: bool = False,
+        stage_real_chunks: bool = False,
+        congestion_aware: bool = False,
+    ) -> None:
+        require_non_negative("timing_noise", timing_noise)
+        self.spec = spec
+        self.placement = placement
+        self.cluster = cluster or make_cori_like_cluster(placement.num_nodes)
+        self.dtl = dtl or InMemoryStagingDTL(
+            network=self.cluster.network,
+            memory_bandwidth=self.cluster.node_spec.memory_bandwidth,
+        )
+        self.seed = seed
+        self.timing_noise = timing_noise
+        self.allow_oversubscription = allow_oversubscription
+        self.stage_real_chunks = stage_real_chunks
+        self.congestion_aware = congestion_aware
+
+    def run(self) -> ExecutionResult:
+        """Execute the ensemble; returns the full result bundle."""
+        effective = compute_effective_stages(
+            self.spec,
+            self.placement,
+            self.cluster,
+            self.dtl,
+            allow_oversubscription=self.allow_oversubscription,
+        )
+        env = Environment()
+        tracer = StageTracer()
+        root_rng = RandomSource(self.seed, name="executor")
+        nics = None
+        if self.congestion_aware:
+            nics = {
+                node: Resource(env, capacity=1, name=f"nic-n{node}")
+                for node in range(self.placement.num_nodes)
+            }
+
+        member_procs = []
+        for member in effective:
+            procs = self._launch_member(env, member, tracer, root_rng, nics)
+            member_procs.extend(procs)
+        env.run()
+
+        return build_result(
+            spec=self.spec,
+            placement=self.placement,
+            effective=effective,
+            tracer=tracer,
+            cluster=self.cluster,
+            seed=self.seed,
+            noise=self.timing_noise,
+        )
+
+    # -- process construction ---------------------------------------------------
+    def _launch_member(
+        self,
+        env: Environment,
+        member: EffectiveMember,
+        tracer: StageTracer,
+        root_rng: RandomSource,
+        nics=None,
+    ):
+        n = member.n_steps
+        written: List[Event] = [env.event() for _ in range(n)]
+        read_done: List[List[Event]] = [
+            [env.event() for _ in member.analyses] for _ in range(n)
+        ]
+        all_read: List[Event] = [env.all_of(evs) for evs in read_done]
+
+        noise = self.timing_noise
+        dtl = self.dtl if self.stage_real_chunks else None
+        sim_rng = root_rng.spawn(member.simulation.name)
+        procs = [
+            env.process(
+                _simulation_process(
+                    env, member, tracer, sim_rng, noise, written, all_read,
+                    dtl,
+                )
+            )
+        ]
+        for j in range(len(member.analyses)):
+            ana_rng = root_rng.spawn(member.analyses[j].name)
+            procs.append(
+                env.process(
+                    _analysis_process(
+                        env,
+                        member,
+                        j,
+                        tracer,
+                        ana_rng,
+                        noise,
+                        written,
+                        read_done,
+                        dtl,
+                        nics,
+                    )
+                )
+            )
+        return procs
+
+
+def _simulation_process(
+    env: Environment,
+    member: EffectiveMember,
+    tracer: StageTracer,
+    rng: RandomSource,
+    noise: float,
+    written: List[Event],
+    all_read: List[Event],
+    dtl: Optional[DataTransportLayer] = None,
+):
+    """S -> I^S -> W per step, enforcing W_{i+1} after all R_i."""
+    sim = member.simulation
+    for step in range(member.n_steps):
+        t0 = env.now
+        yield env.timeout(rng.uniform_jitter(sim.compute_time, noise))
+        t1 = env.now
+        tracer.record(sim.name, Stage.SIM_COMPUTE, step, t0, t1)
+
+        if step > 0 and not all_read[step - 1].triggered:
+            yield all_read[step - 1]
+        t2 = env.now
+        tracer.record(sim.name, Stage.SIM_IDLE, step, t1, t2)
+
+        yield env.timeout(rng.uniform_jitter(sim.io_time, noise))
+        t3 = env.now
+        tracer.record(sim.name, Stage.SIM_WRITE, step, t2, t3)
+        if dtl is not None:
+            # real-data mode: stage a sentinel payload; the DTL's
+            # no-buffering check fires here if the protocol were broken
+            chunk = Chunk(
+                key=ChunkKey(producer=sim.name, step=step),
+                payload=np.array([float(step), t3], dtype=np.float64),
+                metadata={"member": member.name},
+            )
+            dtl.stage(
+                chunk,
+                producer_node=sim.node,
+                expected_consumers=len(member.analyses),
+            )
+        written[step].succeed(step)
+
+
+def _analysis_process(
+    env: Environment,
+    member: EffectiveMember,
+    index: int,
+    tracer: StageTracer,
+    rng: RandomSource,
+    noise: float,
+    written: List[Event],
+    read_done: List[List[Event]],
+    dtl: Optional[DataTransportLayer] = None,
+    nics=None,
+):
+    """R -> A -> I^A per step; R_i gated on W_i."""
+    ana = member.analyses[index]
+    nic = (
+        nics.get(ana.producer_node)
+        if nics is not None and ana.transport_time > 0
+        else None
+    )
+    for step in range(member.n_steps):
+        wait_start = env.now
+        if not written[step].triggered:
+            yield written[step]
+        t1 = env.now
+        if step > 0:
+            # the wait that just ended is the *previous* step's I^A
+            tracer.record(ana.name, Stage.ANA_IDLE, step - 1, wait_start, t1)
+
+        if nic is None:
+            yield env.timeout(rng.uniform_jitter(ana.io_time, noise))
+        else:
+            # local share first (marshal + copy), then the network
+            # transport holding the producer's NIC
+            local_share = ana.io_time - ana.transport_time
+            if local_share > 0:
+                yield env.timeout(rng.uniform_jitter(local_share, noise))
+            req = nic.request(1)
+            yield req
+            yield env.timeout(rng.uniform_jitter(ana.transport_time, noise))
+            nic.release(req)
+        t2 = env.now
+        tracer.record(ana.name, Stage.ANA_READ, step, t1, t2)
+        if dtl is not None:
+            chunk = dtl.retrieve(
+                ChunkKey(producer=member.simulation.name, step=step),
+                consumer=ana.name,
+            )
+            if int(chunk.payload[0]) != step:  # pragma: no cover
+                raise ProtocolError(
+                    f"{ana.name} read step {int(chunk.payload[0])} "
+                    f"while expecting {step}"
+                )
+        read_done[step][index].succeed(step)
+
+        yield env.timeout(rng.uniform_jitter(ana.compute_time, noise))
+        t3 = env.now
+        tracer.record(ana.name, Stage.ANA_COMPUTE, step, t2, t3)
+    # the final step has no subsequent write to wait for
+    tracer.record(
+        ana.name, Stage.ANA_IDLE, member.n_steps - 1, env.now, env.now
+    )

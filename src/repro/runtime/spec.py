@@ -1,0 +1,126 @@
+"""Workflow ensemble specification.
+
+A :class:`MemberSpec` couples one simulation model with ``K >= 1``
+analysis models (the paper restricts members to a single simulation,
+§2.1); an :class:`EnsembleSpec` is the set of members that run
+concurrently, all starting at the same time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.components.analysis import EigenAnalysisModel
+from repro.components.base import ComponentKind, ComponentModel
+from repro.components.simulation import MDSimulationModel
+from repro.util.errors import ConfigurationError, ValidationError
+from repro.util.validation import require_positive_int
+
+
+@dataclass
+class MemberSpec:
+    """One ensemble member: a simulation coupled with K analyses."""
+
+    name: str
+    simulation: ComponentModel
+    analyses: Tuple[ComponentModel, ...]
+    n_steps: int = 37
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("member name must be non-empty")
+        if not isinstance(self.analyses, tuple):
+            self.analyses = tuple(self.analyses)
+        if self.simulation.spec.kind is not ComponentKind.SIMULATION:
+            raise ConfigurationError(
+                f"member {self.name!r}: simulation slot holds a "
+                f"{self.simulation.spec.kind.value} component"
+            )
+        if not self.analyses:
+            raise ConfigurationError(
+                f"member {self.name!r} needs at least one analysis (K >= 1)"
+            )
+        for ana in self.analyses:
+            if ana.spec.kind is not ComponentKind.ANALYSIS:
+                raise ConfigurationError(
+                    f"member {self.name!r}: analysis slot holds a "
+                    f"{ana.spec.kind.value} component"
+                )
+        require_positive_int("n_steps", self.n_steps)
+        names = [self.simulation.name] + [a.name for a in self.analyses]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"member {self.name!r} has duplicate component names: {names}"
+            )
+
+    @property
+    def num_couplings(self) -> int:
+        """K_i."""
+        return len(self.analyses)
+
+    @property
+    def total_cores(self) -> int:
+        """c_i = cs_i + sum_j ca_i^j."""
+        return self.simulation.cores + sum(a.cores for a in self.analyses)
+
+    @property
+    def component_names(self) -> Tuple[str, ...]:
+        return (self.simulation.name,) + tuple(a.name for a in self.analyses)
+
+
+@dataclass
+class EnsembleSpec:
+    """A workflow ensemble: N members running concurrently."""
+
+    name: str
+    members: Tuple[MemberSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("ensemble name must be non-empty")
+        if not isinstance(self.members, tuple):
+            self.members = tuple(self.members)
+        if not self.members:
+            raise ConfigurationError("an ensemble needs at least one member")
+        member_names = [m.name for m in self.members]
+        if len(set(member_names)) != len(member_names):
+            raise ConfigurationError(f"duplicate member names: {member_names}")
+        component_names = [
+            n for m in self.members for n in m.component_names
+        ]
+        if len(set(component_names)) != len(component_names):
+            raise ConfigurationError(
+                "component names must be unique across the whole ensemble"
+            )
+
+    @property
+    def num_members(self) -> int:
+        """N."""
+        return len(self.members)
+
+
+def default_member(
+    name: str,
+    num_analyses: int = 1,
+    n_steps: int = 37,
+    sim_cores: int = 16,
+    ana_cores: int = 8,
+    natoms: int = 250_000,
+    stride: int = 800,
+) -> MemberSpec:
+    """The paper's default member: MD simulation + K identical analyses.
+
+    16-core simulation at stride 800 and 8-core analyses — the §3.4
+    operating point. ``n_steps`` defaults to 37 (30 000 MD steps at
+    stride 800, rounded down).
+    """
+    require_positive_int("num_analyses", num_analyses)
+    sim = MDSimulationModel(
+        f"{name}.sim", cores=sim_cores, natoms=natoms, stride=stride
+    )
+    analyses = tuple(
+        EigenAnalysisModel(f"{name}.ana{j + 1}", cores=ana_cores, natoms=natoms)
+        for j in range(num_analyses)
+    )
+    return MemberSpec(name=name, simulation=sim, analyses=analyses, n_steps=n_steps)

@@ -1,0 +1,197 @@
+"""Simulated-annealing placement search for large ensembles.
+
+Exhaustive search grows as ``nodes^components``; the greedy policy is
+fast but member-at-a-time. For large ensembles (many members, K > 1)
+this module provides a classic annealer over the placement space:
+
+- **state**: a feasible component-to-node assignment;
+- **move**: relocate one uniformly chosen component to a random node
+  with capacity (swap-free moves keep feasibility trivially);
+- **energy**: ``-F(P^{U,A,P})`` via the analytic predictor;
+- **schedule**: geometric cooling with per-temperature plateaus.
+
+Deterministic given the seed. The tests verify it matches the
+exhaustive optimum on paper-sized problems and beats greedy-breaking
+adversarial starts on larger ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec
+from repro.scheduler.objectives import score_placement
+from repro.scheduler.policies import RandomPolicy, SchedulingPolicy
+from repro.util.rng import RandomSource
+from repro.util.validation import (
+    require_in_range,
+    require_positive,
+    require_positive_int,
+)
+
+
+@dataclass
+class AnnealingStats:
+    """Diagnostics of one annealing run."""
+
+    evaluations: int = 0
+    accepted: int = 0
+    improved: int = 0
+
+
+class SimulatedAnnealingPolicy(SchedulingPolicy):
+    """Anneal over feasible placements, maximizing F(P^{U,A,P}).
+
+    Parameters
+    ----------
+    seed:
+        RNG seed (controls the start state and the move sequence).
+    initial_temperature:
+        Temperature relative to the |F| scale of the start state.
+    cooling:
+        Geometric cooling factor per plateau (0 < cooling < 1).
+    plateau:
+        Moves attempted per temperature.
+    min_temperature_ratio:
+        Stop when T falls below this fraction of the initial T.
+    """
+
+    name = "simulated-annealing"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        initial_temperature: float = 1.0,
+        cooling: float = 0.9,
+        plateau: int = 100,
+        min_temperature_ratio: float = 1e-3,
+    ) -> None:
+        self.rng = RandomSource(seed, name="annealer")
+        self.initial_temperature = require_positive(
+            "initial_temperature", initial_temperature
+        )
+        self.cooling = require_in_range(
+            "cooling", cooling, 0.0, 1.0, inclusive_low=False,
+            inclusive_high=False,
+        )
+        self.plateau = require_positive_int("plateau", plateau)
+        self.min_temperature_ratio = require_positive(
+            "min_temperature_ratio", min_temperature_ratio
+        )
+        self.stats = AnnealingStats()
+
+    # -- state helpers --------------------------------------------------------
+    @staticmethod
+    def _flatten(
+        spec: EnsembleSpec, placement: EnsemblePlacement
+    ) -> List[int]:
+        nodes: List[int] = []
+        for mp in placement.members:
+            nodes.append(mp.simulation_node)
+            nodes.extend(mp.analysis_nodes)
+        return nodes
+
+    @staticmethod
+    def _unflatten(
+        spec: EnsembleSpec, flat: List[int], num_nodes: int
+    ) -> EnsemblePlacement:
+        members: List[MemberPlacement] = []
+        cursor = 0
+        for member in spec.members:
+            shape = 1 + member.num_couplings
+            chunk = flat[cursor : cursor + shape]
+            cursor += shape
+            members.append(MemberPlacement(chunk[0], tuple(chunk[1:])))
+        return EnsemblePlacement(num_nodes, tuple(members))
+
+    @staticmethod
+    def _demand(
+        spec: EnsembleSpec, flat: List[int]
+    ) -> Dict[int, int]:
+        demand: Dict[int, int] = {}
+        cursor = 0
+        for member in spec.members:
+            for cores in [member.simulation.cores] + [
+                a.cores for a in member.analyses
+            ]:
+                node = flat[cursor]
+                demand[node] = demand.get(node, 0) + cores
+                cursor += 1
+        return demand
+
+    def place(
+        self,
+        spec: EnsembleSpec,
+        num_nodes: int,
+        cores_per_node: int,
+    ) -> EnsemblePlacement:
+        require_positive_int("num_nodes", num_nodes)
+        self._check_total_capacity(spec, num_nodes, cores_per_node)
+        self.stats = AnnealingStats()
+        gen = self.rng.generator
+
+        # start from a random feasible state (reusing the random policy's
+        # retry logic, seeded from our stream)
+        start = RandomPolicy(seed=int(gen.integers(0, 2**31))).place(
+            spec, num_nodes, cores_per_node
+        )
+        flat = self._flatten(spec, start)
+        component_cores: List[int] = []
+        for member in spec.members:
+            component_cores.append(member.simulation.cores)
+            component_cores.extend(a.cores for a in member.analyses)
+
+        current = score_placement(
+            spec, self._unflatten(spec, flat, num_nodes)
+        )
+        self.stats.evaluations += 1
+        best_flat = list(flat)
+        best = current
+
+        temperature = self.initial_temperature * max(
+            abs(current.objective), 1e-9
+        )
+        floor = temperature * self.min_temperature_ratio
+
+        demand = self._demand(spec, flat)
+        while temperature > floor:
+            for _ in range(self.plateau):
+                idx = int(gen.integers(0, len(flat)))
+                old_node = flat[idx]
+                cores = component_cores[idx]
+                options = [
+                    n
+                    for n in range(num_nodes)
+                    if n != old_node
+                    and demand.get(n, 0) + cores <= cores_per_node
+                ]
+                if not options:
+                    continue
+                new_node = int(gen.choice(options))
+                flat[idx] = new_node
+                demand[old_node] -= cores
+                demand[new_node] = demand.get(new_node, 0) + cores
+
+                candidate = score_placement(
+                    spec, self._unflatten(spec, flat, num_nodes)
+                )
+                self.stats.evaluations += 1
+                delta = candidate.objective - current.objective
+                if delta >= 0 or gen.random() < math.exp(delta / temperature):
+                    current = candidate
+                    self.stats.accepted += 1
+                    if candidate.objective > best.objective:
+                        best = candidate
+                        best_flat = list(flat)
+                        self.stats.improved += 1
+                else:
+                    # revert the move
+                    flat[idx] = old_node
+                    demand[new_node] -= cores
+                    demand[old_node] += cores
+            temperature *= self.cooling
+
+        return self._unflatten(spec, best_flat, num_nodes)

@@ -1,0 +1,101 @@
+"""Scoring candidate placements.
+
+A placement's quality is summarized by a :class:`PlacementScore`: the
+paper's objective F over the final-stage indicators (primary), plus the
+predicted ensemble makespan and node count as diagnostics. Scores are
+computed through :func:`repro.runtime.analytic.predict_member_stages`,
+so evaluating a candidate costs microseconds — cheap enough for search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.indicators import (
+    IndicatorStage,
+    MemberMeasurement,
+    apply_stages,
+)
+from repro.core.insitu import member_makespan
+from repro.core.objective import objective_function
+from repro.dtl.base import DataTransportLayer
+from repro.platform.cluster import Cluster
+from repro.platform.specs import make_cori_like_cluster
+from repro.runtime.analytic import predict_member_stages
+from repro.runtime.placement import EnsemblePlacement
+from repro.runtime.spec import EnsembleSpec
+
+FINAL_STAGE_ORDER: Tuple[IndicatorStage, ...] = (
+    IndicatorStage.USAGE,
+    IndicatorStage.ALLOCATION,
+    IndicatorStage.PROVISIONING,
+)
+
+
+@dataclass(frozen=True)
+class PlacementScore:
+    """Quality summary of one candidate placement.
+
+    Ordering: scores compare by ``objective`` (higher better), then by
+    fewer nodes, then by lower makespan — so ``max(scores)`` is the
+    scheduler's preference.
+    """
+
+    placement: EnsemblePlacement
+    objective: float  # F(P^{U,A,P}), higher is better
+    ensemble_makespan: float
+    num_nodes: int
+    member_indicators: Tuple[float, ...]
+
+    def _key(self) -> Tuple[float, int, float]:
+        return (self.objective, -self.num_nodes, -self.ensemble_makespan)
+
+    def __lt__(self, other: "PlacementScore") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "PlacementScore") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "PlacementScore") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "PlacementScore") -> bool:
+        return self._key() >= other._key()
+
+
+def score_placement(
+    spec: EnsembleSpec,
+    placement: EnsemblePlacement,
+    cluster: Optional[Cluster] = None,
+    dtl: Optional[DataTransportLayer] = None,
+) -> PlacementScore:
+    """Score one placement via the analytic predictor."""
+    if cluster is None:
+        cluster = make_cori_like_cluster(placement.num_nodes)
+    stages = predict_member_stages(spec, placement, cluster=cluster, dtl=dtl)
+
+    indicators = []
+    worst_makespan = 0.0
+    for member_spec, mp in zip(spec.members, placement.members):
+        member_stages = stages[member_spec.name]
+        measurement = MemberMeasurement(
+            name=member_spec.name,
+            stages=member_stages,
+            total_cores=member_spec.total_cores,
+            placement=mp.to_placement_sets(),
+        )
+        indicators.append(
+            apply_stages(measurement, FINAL_STAGE_ORDER, placement.num_nodes)
+        )
+        worst_makespan = max(
+            worst_makespan,
+            member_makespan(member_stages, member_spec.n_steps),
+        )
+    return PlacementScore(
+        placement=placement,
+        objective=objective_function(indicators),
+        ensemble_makespan=worst_makespan,
+        num_nodes=placement.num_nodes,
+        member_indicators=tuple(indicators),
+    )

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, wrong shape, ...)."""
+
+
+class ConfigurationError(ReproError):
+    """An ensemble / experiment configuration is internally inconsistent."""
+
+
+class PlacementError(ConfigurationError):
+    """A component-to-node placement is invalid for the target cluster.
+
+    Examples: a node index outside the allocation, or a node whose core
+    demand exceeds its capacity when over-subscription is disallowed.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid internal state."""
+
+
+class ProtocolError(SimulationError):
+    """The synchronous in situ coupling protocol was violated.
+
+    Raised, for example, when a producer attempts to overwrite a staged
+    chunk that has not yet been read by every coupled consumer (the
+    paper assumes no buffering of simulation output).
+    """
+
+
+class DTLError(ReproError):
+    """A data-transport-layer operation failed (missing chunk, capacity...)."""

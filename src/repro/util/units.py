@@ -1,0 +1,73 @@
+"""Unit constants and human-readable formatting.
+
+The simulator's canonical units are **seconds** for time and **bytes**
+for data sizes. The constants below convert *to* the canonical unit:
+``5 * MILLISECONDS`` is five milliseconds expressed in seconds, and
+``2 * MIB`` is two mebibytes expressed in bytes.
+"""
+
+from __future__ import annotations
+
+# --- time (canonical unit: seconds) ---------------------------------------
+SECONDS: float = 1.0
+MILLISECONDS: float = 1e-3
+MICROSECONDS: float = 1e-6
+NANOSECONDS: float = 1e-9
+MINUTES: float = 60.0
+HOURS: float = 3600.0
+
+# --- data sizes (canonical unit: bytes) ------------------------------------
+KIB: int = 1024
+MIB: int = 1024**2
+GIB: int = 1024**3
+TIB: int = 1024**4
+
+_BYTE_STEPS = (
+    (TIB, "TiB"),
+    (GIB, "GiB"),
+    (MIB, "MiB"),
+    (KIB, "KiB"),
+)
+
+_TIME_STEPS = (
+    (HOURS, "h"),
+    (MINUTES, "min"),
+    (SECONDS, "s"),
+    (MILLISECONDS, "ms"),
+    (MICROSECONDS, "us"),
+    (NANOSECONDS, "ns"),
+)
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a binary-prefix unit.
+
+    >>> format_bytes(3 * MIB)
+    '3.00 MiB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    if n < 0:
+        return "-" + format_bytes(-n)
+    for step, suffix in _BYTE_STEPS:
+        if n >= step:
+            return f"{n / step:.2f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def format_time(t: float) -> str:
+    """Render a duration in seconds with an adaptive unit.
+
+    >>> format_time(0.0035)
+    '3.50 ms'
+    >>> format_time(0)
+    '0 s'
+    """
+    if t == 0:
+        return "0 s"
+    if t < 0:
+        return "-" + format_time(-t)
+    for step, suffix in _TIME_STEPS:
+        if t >= step:
+            return f"{t / step:.2f} {suffix}"
+    return f"{t:.3g} s"

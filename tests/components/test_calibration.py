@@ -1,0 +1,173 @@
+"""Tests for cost-model calibration."""
+
+import numpy as np
+import pytest
+
+from repro.components.analysis import EigenAnalysisModel
+from repro.components.calibration import (
+    AnalysisSample,
+    SimulationSample,
+    fit_analysis_model,
+    fit_simulation_model,
+)
+from repro.components.simulation import MDSimulationModel
+from repro.util.errors import ValidationError
+
+
+def sim_samples(model: MDSimulationModel, core_counts, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for c in core_counts:
+        clone = MDSimulationModel(
+            "probe",
+            cores=c,
+            natoms=model.natoms,
+            stride=model.stride,
+            seconds_per_atom_step=model.seconds_per_atom_step,
+            serial_fraction=model.serial_fraction,
+        )
+        t = clone.solo_compute_time()
+        if noise:
+            t *= 1 + rng.uniform(-noise, noise)
+        out.append(
+            SimulationSample(
+                cores=c, stride=model.stride, natoms=model.natoms, seconds=t
+            )
+        )
+    return out
+
+
+class TestSimulationFit:
+    def test_exact_recovery(self):
+        truth = MDSimulationModel("truth")
+        samples = sim_samples(truth, [1, 2, 4, 8, 16, 32])
+        model, report = fit_simulation_model("fit", samples)
+        assert report.single_core_time == pytest.approx(
+            truth.seconds_per_atom_step, rel=1e-9
+        )
+        assert report.serial_fraction == pytest.approx(
+            truth.serial_fraction, abs=1e-9
+        )
+        assert report.rmse == pytest.approx(0.0, abs=1e-12)
+
+    def test_noisy_recovery(self):
+        truth = MDSimulationModel("truth")
+        samples = sim_samples(truth, [1, 2, 4, 8, 16, 32], noise=0.03)
+        _, report = fit_simulation_model("fit", samples)
+        assert report.serial_fraction == pytest.approx(
+            truth.serial_fraction, abs=0.03
+        )
+        assert report.single_core_time == pytest.approx(
+            truth.seconds_per_atom_step, rel=0.05
+        )
+
+    def test_fitted_model_predicts_held_out_cores(self):
+        truth = MDSimulationModel("truth")
+        samples = sim_samples(truth, [1, 4, 16])
+        model, _ = fit_simulation_model("fit", samples)
+        probe = MDSimulationModel(
+            "probe",
+            cores=8,  # held-out core count
+            natoms=truth.natoms,
+            stride=truth.stride,
+            seconds_per_atom_step=model.seconds_per_atom_step,
+            serial_fraction=model.serial_fraction,
+        )
+        truth8 = MDSimulationModel(
+            "t8", cores=8, natoms=truth.natoms, stride=truth.stride
+        )
+        assert probe.solo_compute_time() == pytest.approx(
+            truth8.solo_compute_time(), rel=1e-6
+        )
+
+    def test_mixed_strides_and_sizes(self):
+        truth = MDSimulationModel("truth")
+        samples = [
+            SimulationSample(
+                cores=c,
+                stride=stride,
+                natoms=natoms,
+                seconds=MDSimulationModel(
+                    "p", cores=c, natoms=natoms, stride=stride
+                ).solo_compute_time(),
+            )
+            for c, stride, natoms in [
+                (1, 100, 50_000),
+                (4, 800, 250_000),
+                (16, 400, 100_000),
+            ]
+        ]
+        _, report = fit_simulation_model("fit", samples)
+        assert report.serial_fraction == pytest.approx(0.05, abs=1e-6)
+
+    def test_single_core_count_rejected(self):
+        truth = MDSimulationModel("truth")
+        samples = sim_samples(truth, [8, 8, 8])
+        with pytest.raises(ValidationError, match="distinct core"):
+            fit_simulation_model("fit", samples)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_simulation_model("fit", [])
+
+    def test_non_amdahl_data_rejected(self):
+        # superlinear "measurements" produce negative serial fraction
+        samples = [
+            SimulationSample(cores=1, stride=100, natoms=1000, seconds=10.0),
+            SimulationSample(cores=2, stride=100, natoms=1000, seconds=2.0),
+            SimulationSample(cores=4, stride=100, natoms=1000, seconds=0.4),
+        ]
+        with pytest.raises(ValidationError):
+            fit_simulation_model("fit", samples)
+
+
+class TestAnalysisFit:
+    def test_exact_recovery(self):
+        truth = EigenAnalysisModel("truth")
+        samples = [
+            AnalysisSample(
+                cores=c, seconds=truth.with_cores(c).solo_compute_time()
+            )
+            for c in (1, 2, 4, 8, 16, 32)
+        ]
+        model, report = fit_analysis_model("fit", samples)
+        assert report.single_core_time == pytest.approx(
+            truth.single_core_time, rel=1e-9
+        )
+        assert report.serial_fraction == pytest.approx(
+            truth.serial_fraction, abs=1e-9
+        )
+        assert model.with_cores(8).solo_compute_time() == pytest.approx(
+            truth.solo_compute_time(), rel=1e-9
+        )
+
+    def test_validation_mirrors_simulation_fit(self):
+        with pytest.raises(ValidationError):
+            fit_analysis_model("fit", [])
+        with pytest.raises(ValidationError):
+            fit_analysis_model(
+                "fit",
+                [AnalysisSample(4, 10.0), AnalysisSample(4, 10.0)],
+            )
+
+    def test_poor_fit_detected(self):
+        # oscillating data: the least-squares f lands in [0, 1] but the
+        # residuals are enormous relative to the mean
+        samples = [
+            AnalysisSample(1, 30.0),
+            AnalysisSample(2, 10.0),
+            AnalysisSample(4, 30.0),
+            AnalysisSample(8, 10.0),
+        ]
+        with pytest.raises(ValidationError, match="poor calibration fit"):
+            fit_analysis_model("fit", samples)
+
+    def test_unphysical_scaling_detected(self):
+        # superlinear speedup pushes the serial fraction out of range
+        samples = [
+            AnalysisSample(1, 10.0),
+            AnalysisSample(2, 2.0),
+            AnalysisSample(4, 0.4),
+        ]
+        with pytest.raises(ValidationError, match="Amdahl"):
+            fit_analysis_model("fit", samples)

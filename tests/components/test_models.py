@@ -1,0 +1,119 @@
+"""Tests for the analytic component cost models."""
+
+import pytest
+
+from repro.components.analysis import EigenAnalysisModel
+from repro.components.base import (
+    ComponentKind,
+    ComponentSpec,
+    amdahl_time,
+)
+from repro.components.simulation import BYTES_PER_ATOM_FRAME, MDSimulationModel
+from repro.util.errors import ValidationError
+
+
+class TestAmdahl:
+    def test_one_core_is_full_time(self):
+        assert amdahl_time(10.0, 0.1, 1) == pytest.approx(10.0)
+
+    def test_fully_parallel_scales_linearly(self):
+        assert amdahl_time(10.0, 0.0, 4) == pytest.approx(2.5)
+
+    def test_fully_serial_never_scales(self):
+        assert amdahl_time(10.0, 1.0, 64) == pytest.approx(10.0)
+
+    def test_monotone_decreasing_in_cores(self):
+        times = [amdahl_time(10.0, 0.1, c) for c in (1, 2, 4, 8, 16)]
+        assert times == sorted(times, reverse=True)
+
+    def test_bounded_below_by_serial_fraction(self):
+        assert amdahl_time(10.0, 0.2, 10_000) >= 2.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            amdahl_time(0.0, 0.1, 4)
+        with pytest.raises(ValidationError):
+            amdahl_time(10.0, 1.5, 4)
+        with pytest.raises(ValidationError):
+            amdahl_time(10.0, 0.1, 0)
+        with pytest.raises(ValidationError):
+            amdahl_time(10.0, 0.1, 2.5)
+
+
+class TestComponentSpec:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ComponentSpec("", ComponentKind.SIMULATION, 4)
+        with pytest.raises(ValidationError):
+            ComponentSpec("x", "simulation", 4)
+        with pytest.raises(ValidationError):
+            ComponentSpec("x", ComponentKind.SIMULATION, 0)
+        with pytest.raises(ValidationError):
+            ComponentSpec("x", ComponentKind.SIMULATION, True)
+
+
+class TestSimulationModel:
+    def test_paper_operating_point(self, sim_model):
+        """16 cores, stride 800, 250k atoms -> an in situ step of ~15 s."""
+        t = sim_model.solo_compute_time()
+        assert 10.0 < t < 25.0
+
+    def test_step_time_scales_with_stride(self):
+        short = MDSimulationModel("s", stride=100).solo_compute_time()
+        long = MDSimulationModel("s", stride=800).solo_compute_time()
+        assert long == pytest.approx(8 * short)
+
+    def test_step_time_scales_with_atoms(self):
+        small = MDSimulationModel("s", natoms=100_000).solo_compute_time()
+        big = MDSimulationModel("s", natoms=200_000).solo_compute_time()
+        assert big == pytest.approx(2 * small)
+
+    def test_more_cores_faster(self):
+        t8 = MDSimulationModel("s", cores=8).solo_compute_time()
+        t16 = MDSimulationModel("s", cores=16).solo_compute_time()
+        assert t16 < t8
+
+    def test_frame_payload_size(self, sim_model):
+        assert sim_model.payload_bytes() == 250_000 * BYTES_PER_ATOM_FRAME
+
+    def test_kind_is_simulation(self, sim_model):
+        assert sim_model.spec.kind is ComponentKind.SIMULATION
+
+
+class TestAnalysisModel:
+    def test_paper_operating_point(self, sim_model, ana_model):
+        """At 8 cores the analysis step is just below the simulation step
+        (Idle Analyzer regime, §3.4)."""
+        a = ana_model.solo_compute_time()
+        s = sim_model.solo_compute_time()
+        assert a < s
+        assert a > 0.7 * s  # close to it: E was maximized
+
+    def test_crossover_matches_figure7(self, sim_model, ana_model):
+        """1-4 cores: analysis slower than simulation; 8-32: faster."""
+        s = sim_model.solo_compute_time()
+        for c in (1, 2, 4):
+            assert ana_model.with_cores(c).solo_compute_time() > s
+        for c in (8, 16, 32):
+            assert ana_model.with_cores(c).solo_compute_time() < s
+
+    def test_with_cores_preserves_other_settings(self, ana_model):
+        clone = ana_model.with_cores(4)
+        assert clone.cores == 4
+        assert clone.natoms == ana_model.natoms
+        assert clone.single_core_time == ana_model.single_core_time
+        assert clone.name == ana_model.name
+
+    def test_reads_one_frame(self, ana_model, sim_model):
+        assert ana_model.payload_bytes() == sim_model.payload_bytes()
+
+    def test_kind_is_analysis(self, ana_model):
+        assert ana_model.spec.kind is ComponentKind.ANALYSIS
+
+
+class TestModelProfileBinding:
+    def test_name_mismatch_rejected(self):
+        from repro.components.profiles import simulation_profile
+
+        with pytest.raises(ValidationError):
+            MDSimulationModel("a", profile=simulation_profile("b"))

@@ -1,0 +1,113 @@
+"""Tests for bipartite matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.components.kernels.bipartite import (
+    bipartite_contact_matrix,
+    bipartite_distance_matrix,
+    split_groups,
+)
+from repro.util.errors import ValidationError
+
+
+class TestSplitGroups:
+    def test_half_split(self):
+        pos = np.arange(30.0).reshape(10, 3)
+        a, b = split_groups(pos, 0.5)
+        assert a.shape == (5, 3)
+        assert b.shape == (5, 3)
+        assert np.array_equal(np.vstack([a, b]), pos)
+
+    def test_uneven_split(self):
+        pos = np.zeros((10, 3))
+        a, b = split_groups(pos, 0.3)
+        assert a.shape[0] == 3
+        assert b.shape[0] == 7
+
+    def test_extreme_fractions_keep_both_groups_non_empty(self):
+        pos = np.zeros((10, 3))
+        a, b = split_groups(pos, 0.999)
+        assert a.shape[0] == 9 and b.shape[0] == 1
+        a, b = split_groups(pos, 0.001)
+        assert a.shape[0] == 1 and b.shape[0] == 9
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValidationError):
+            split_groups(np.zeros((4, 3)), 0.0)
+        with pytest.raises(ValidationError):
+            split_groups(np.zeros((4, 3)), 1.0)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            split_groups(np.zeros((4, 2)))
+
+
+class TestDistanceMatrix:
+    def test_known_distances(self):
+        a = np.array([[0.0, 0.0, 0.0]])
+        b = np.array([[3.0, 4.0, 0.0], [1.0, 0.0, 0.0]])
+        d = bipartite_distance_matrix(a, b)
+        assert d.shape == (1, 2)
+        assert d[0, 0] == pytest.approx(5.0)
+        assert d[0, 1] == pytest.approx(1.0)
+
+    def test_gemm_path_matches_naive(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(12, 3))
+        b = rng.normal(size=(7, 3))
+        d = bipartite_distance_matrix(a, b)
+        naive = np.sqrt(((a[:, None, :] - b[None, :, :]) ** 2).sum(-1))
+        assert np.allclose(d, naive, atol=1e-10)
+
+    def test_periodic_distances_use_minimum_image(self):
+        a = np.array([[0.5, 5.0, 5.0]])
+        b = np.array([[9.5, 5.0, 5.0]])
+        open_d = bipartite_distance_matrix(a, b)
+        pbc_d = bipartite_distance_matrix(a, b, box_length=10.0)
+        assert open_d[0, 0] == pytest.approx(9.0)
+        assert pbc_d[0, 0] == pytest.approx(1.0)
+
+    def test_distances_non_negative(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(20, 3))
+        d = bipartite_distance_matrix(a, a.copy())
+        assert (d >= 0).all()
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValidationError):
+            bipartite_distance_matrix(np.zeros((0, 3)), np.zeros((3, 3)))
+
+
+class TestContactMatrix:
+    def test_values_in_unit_interval(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(0, 5, size=(10, 3))
+        b = rng.uniform(0, 5, size=(8, 3))
+        m = bipartite_contact_matrix(a, b, box_length=10.0)
+        assert (m >= 0).all() and (m <= 1).all()
+
+    def test_close_pair_is_contact(self):
+        a = np.array([[0.0, 0.0, 0.0]])
+        b = np.array([[0.1, 0.0, 0.0]])
+        m = bipartite_contact_matrix(a, b, contact_radius=1.5)
+        assert m[0, 0] > 0.99
+
+    def test_distant_pair_is_not_contact(self):
+        a = np.array([[0.0, 0.0, 0.0]])
+        b = np.array([[8.0, 0.0, 0.0]])
+        m = bipartite_contact_matrix(a, b, contact_radius=1.5)
+        assert m[0, 0] < 0.01
+
+    def test_contact_at_radius_is_half(self):
+        a = np.array([[0.0, 0.0, 0.0]])
+        b = np.array([[1.5, 0.0, 0.0]])
+        m = bipartite_contact_matrix(a, b, contact_radius=1.5)
+        assert m[0, 0] == pytest.approx(0.5)
+
+    def test_invalid_params_rejected(self):
+        a = np.zeros((2, 3))
+        with pytest.raises(ValidationError):
+            bipartite_contact_matrix(a, a, contact_radius=0)
+        with pytest.raises(ValidationError):
+            bipartite_contact_matrix(a, a, steepness=-1)

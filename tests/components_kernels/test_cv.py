@@ -1,0 +1,80 @@
+"""Tests for the end-to-end collective-variable analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.components.kernels.cv import CollectiveVariableAnalyzer
+from repro.components.md.engine import MDEngine
+from repro.util.errors import ValidationError
+
+
+class TestAnalyze:
+    def test_returns_positive_cv(self):
+        rng = np.random.default_rng(0)
+        positions = rng.uniform(0, 5, size=(40, 3))
+        cva = CollectiveVariableAnalyzer()
+        result = cva.analyze(positions, box_length=10.0)
+        assert result.value > 0
+        assert result.frame_index == 0
+        assert result.matrix_shape == (20, 20)
+
+    def test_history_accumulates(self):
+        rng = np.random.default_rng(1)
+        cva = CollectiveVariableAnalyzer()
+        for _ in range(3):
+            cva.analyze(rng.uniform(0, 5, size=(20, 3)), box_length=10.0)
+        assert len(cva.history) == 3
+        assert cva.trajectory.shape == (3,)
+        assert [r.frame_index for r in cva.history] == [0, 1, 2]
+
+    def test_explicit_frame_index(self):
+        cva = CollectiveVariableAnalyzer()
+        r = cva.analyze(
+            np.random.default_rng(2).uniform(0, 5, (10, 3)),
+            box_length=10.0,
+            frame_index=42,
+        )
+        assert r.frame_index == 42
+
+    def test_periodic_requires_box(self):
+        cva = CollectiveVariableAnalyzer(periodic=True)
+        with pytest.raises(ValidationError):
+            cva.analyze(np.zeros((10, 3)) + np.arange(10)[:, None])
+
+    def test_open_boundaries_mode(self):
+        cva = CollectiveVariableAnalyzer(periodic=False)
+        positions = np.random.default_rng(3).normal(size=(16, 3))
+        result = cva.analyze(positions)
+        assert result.value > 0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValidationError):
+            CollectiveVariableAnalyzer(group_fraction=0.0)
+        with pytest.raises(ValidationError):
+            CollectiveVariableAnalyzer(contact_radius=-1)
+
+
+class TestPhysicalBehaviour:
+    def test_compact_system_has_higher_cv_than_dilute(self):
+        """More contacts -> larger dominant singular value."""
+        rng = np.random.default_rng(4)
+        compact = rng.uniform(0, 2, size=(30, 3))
+        dilute = rng.uniform(0, 20, size=(30, 3))
+        cva = CollectiveVariableAnalyzer(periodic=False)
+        v_compact = cva.analyze(compact).value
+        v_dilute = cva.analyze(dilute).value
+        assert v_compact > v_dilute
+
+    def test_cv_varies_smoothly_along_md_trajectory(self):
+        """The real pipeline: MD frames in, CV series out."""
+        eng = MDEngine(natoms=108, stride=5, seed=0)
+        eng.equilibrate(20)
+        cva = CollectiveVariableAnalyzer()
+        for frame in eng.frames(4):
+            cva.analyze(frame.positions, frame.box_length)
+        traj = cva.trajectory
+        assert traj.shape == (4,)
+        assert (traj > 0).all()
+        # successive frames are 5 steps apart: CV must not jump wildly
+        rel_jumps = np.abs(np.diff(traj)) / traj[:-1]
+        assert (rel_jumps < 0.25).all()

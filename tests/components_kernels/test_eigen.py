@@ -1,0 +1,107 @@
+"""Tests for power-iteration spectral kernels (validated against numpy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.components.kernels.eigen import (
+    largest_eigenvalue_symmetric,
+    largest_singular_value,
+)
+from repro.util.errors import ValidationError
+from repro.util.rng import RandomSource
+
+
+class TestSymmetricEigenvalue:
+    def test_diagonal_matrix(self):
+        m = np.diag([1.0, 5.0, 3.0])
+        lam, vec = largest_eigenvalue_symmetric(m)
+        assert lam == pytest.approx(5.0)
+        assert abs(vec[1]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_numpy_on_random_symmetric(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(30, 30))
+        m = a + a.T
+        lam, _ = largest_eigenvalue_symmetric(m, tol=1e-12)
+        expected = np.linalg.eigvalsh(m)
+        dominant = expected[np.argmax(np.abs(expected))]
+        assert lam == pytest.approx(dominant, rel=1e-6)
+
+    def test_eigenvector_satisfies_definition(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(20, 20))
+        m = a @ a.T  # positive semidefinite: dominant eigenvalue unique w.h.p.
+        lam, vec = largest_eigenvalue_symmetric(m, tol=1e-12)
+        assert np.allclose(m @ vec, lam * vec, atol=1e-5 * abs(lam))
+
+    def test_zero_matrix(self):
+        lam, _ = largest_eigenvalue_symmetric(np.zeros((5, 5)))
+        assert lam == 0.0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValidationError):
+            largest_eigenvalue_symmetric(np.zeros((3, 4)))
+
+    def test_asymmetric_rejected(self):
+        m = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValidationError, match="symmetric"):
+            largest_eigenvalue_symmetric(m)
+
+    def test_invalid_params_rejected(self):
+        m = np.eye(3)
+        with pytest.raises(ValidationError):
+            largest_eigenvalue_symmetric(m, tol=0)
+        with pytest.raises(ValidationError):
+            largest_eigenvalue_symmetric(m, max_iterations=0)
+
+
+class TestSingularValue:
+    def test_matches_numpy_svd(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(40, 25))
+        sigma = largest_singular_value(a, tol=1e-13)
+        assert sigma == pytest.approx(
+            np.linalg.svd(a, compute_uv=False)[0], rel=1e-7
+        )
+
+    def test_rectangular_both_orientations(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(10, 50))
+        s1 = largest_singular_value(a, tol=1e-13)
+        s2 = largest_singular_value(a.T, tol=1e-13)
+        assert s1 == pytest.approx(s2, rel=1e-7)
+
+    def test_rank_one_matrix(self):
+        u = np.array([3.0, 4.0])  # |u| = 5
+        v = np.array([1.0, 0.0, 0.0])
+        a = np.outer(u, v)
+        assert largest_singular_value(a) == pytest.approx(5.0, rel=1e-9)
+
+    def test_zero_matrix(self):
+        assert largest_singular_value(np.zeros((4, 3))) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            largest_singular_value(np.zeros((0, 3)))
+
+    def test_deterministic_given_rng(self):
+        a = np.random.default_rng(7).normal(size=(15, 15))
+        s1 = largest_singular_value(a, rng=RandomSource(1))
+        s2 = largest_singular_value(a, rng=RandomSource(1))
+        assert s1 == s2
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_never_exceeds_frobenius_norm(self, seed):
+        a = np.random.default_rng(seed).normal(size=(8, 6))
+        sigma = largest_singular_value(a)
+        assert sigma <= np.linalg.norm(a) + 1e-9
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_homogeneity(self, seed):
+        a = np.random.default_rng(seed).normal(size=(6, 9))
+        s = largest_singular_value(a, tol=1e-13)
+        s3 = largest_singular_value(3.0 * a, tol=1e-13)
+        assert s3 == pytest.approx(3.0 * s, rel=1e-6)

@@ -1,0 +1,151 @@
+"""Tests for the structural analysis kernels (RMSD, Rg, RDF)."""
+
+import numpy as np
+import pytest
+
+from repro.components.kernels.structure import (
+    StructureAnalyzer,
+    radial_distribution,
+    radius_of_gyration,
+    rmsd,
+)
+from repro.components.md.engine import MDEngine
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def cloud():
+    return np.random.default_rng(0).normal(size=(30, 3))
+
+
+class TestRmsd:
+    def test_identical_frames_zero(self, cloud):
+        assert rmsd(cloud, cloud) == pytest.approx(0.0, abs=1e-10)
+
+    def test_translation_removed_by_superposition(self, cloud):
+        shifted = cloud + np.array([5.0, -3.0, 2.0])
+        assert rmsd(shifted, cloud) == pytest.approx(0.0, abs=1e-10)
+
+    def test_rotation_removed_by_superposition(self, cloud):
+        theta = 0.7
+        rot = np.array(
+            [
+                [np.cos(theta), -np.sin(theta), 0.0],
+                [np.sin(theta), np.cos(theta), 0.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        rotated = cloud @ rot.T
+        assert rmsd(rotated, cloud) == pytest.approx(0.0, abs=1e-10)
+
+    def test_without_superposition_translation_counts(self, cloud):
+        shifted = cloud + np.array([1.0, 0.0, 0.0])
+        assert rmsd(shifted, cloud, superpose=False) == pytest.approx(1.0)
+
+    def test_known_deformation(self):
+        ref = np.array([[0.0, 0, 0], [1.0, 0, 0], [2.0, 0, 0], [3.0, 0, 0]])
+        # symmetric stretch around the centroid keeps COM and principal
+        # axis fixed, so RMSD is the pure deformation magnitude
+        deformed = ref.copy()
+        deformed[:, 0] = (ref[:, 0] - 1.5) * 1.2 + 1.5
+        expected = np.sqrt(np.mean((0.2 * (ref[:, 0] - 1.5)) ** 2))
+        assert rmsd(deformed, ref) == pytest.approx(expected, rel=1e-6)
+
+    def test_shape_mismatch_rejected(self, cloud):
+        with pytest.raises(ValidationError):
+            rmsd(cloud, cloud[:-1])
+
+    def test_superposition_never_increases_rmsd(self, cloud):
+        rng = np.random.default_rng(1)
+        other = cloud + rng.normal(scale=0.3, size=cloud.shape)
+        assert rmsd(other, cloud) <= rmsd(other, cloud, superpose=False) + 1e-12
+
+
+class TestRadiusOfGyration:
+    def test_point_cloud_at_origin(self):
+        assert radius_of_gyration(np.zeros((5, 3))) == 0.0
+
+    def test_known_value_for_unit_sphere_shell(self):
+        # 6 points at distance 1 from centroid
+        pos = np.array(
+            [
+                [1, 0, 0], [-1, 0, 0],
+                [0, 1, 0], [0, -1, 0],
+                [0, 0, 1], [0, 0, -1],
+            ],
+            dtype=float,
+        )
+        assert radius_of_gyration(pos) == pytest.approx(1.0)
+
+    def test_translation_invariant(self, cloud):
+        assert radius_of_gyration(cloud + 100.0) == pytest.approx(
+            radius_of_gyration(cloud)
+        )
+
+    def test_scales_linearly(self, cloud):
+        assert radius_of_gyration(3.0 * cloud) == pytest.approx(
+            3.0 * radius_of_gyration(cloud)
+        )
+
+
+class TestRdf:
+    @pytest.fixture(scope="class")
+    def equilibrated_frame(self):
+        engine = MDEngine(natoms=256, stride=10, seed=0)
+        engine.equilibrate(300)
+        frame = next(engine.frames(1))
+        return frame.positions.astype(float), frame.box_length
+
+    def test_lj_liquid_first_shell_peak(self, equilibrated_frame):
+        positions, box = equilibrated_frame
+        r, g = radial_distribution(positions, box, num_bins=40)
+        peak_r = r[np.argmax(g)]
+        # LJ first shell near the potential minimum 2^(1/6) ~ 1.12
+        assert 0.9 < peak_r < 1.4
+        assert g.max() > 1.5  # pronounced liquid structure
+
+    def test_excluded_core(self, equilibrated_frame):
+        positions, box = equilibrated_frame
+        r, g = radial_distribution(positions, box, num_bins=40)
+        # essentially no pairs inside the repulsive core
+        assert g[r < 0.8].max() < 0.2
+
+    def test_tends_to_one_at_large_r(self, equilibrated_frame):
+        positions, box = equilibrated_frame
+        r, g = radial_distribution(positions, box, num_bins=40)
+        tail = g[r > 0.8 * r.max()]
+        assert tail.mean() == pytest.approx(1.0, abs=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            radial_distribution(np.zeros((1, 3)), 10.0)
+        with pytest.raises(ValidationError):
+            radial_distribution(np.zeros((5, 3)), 10.0, r_max=6.0)
+        with pytest.raises(ValidationError):
+            radial_distribution(np.zeros((5, 3)), 10.0, num_bins=0)
+
+
+class TestStructureAnalyzer:
+    def test_first_frame_is_reference(self, cloud):
+        analyzer = StructureAnalyzer()
+        v, rg = analyzer.analyze(cloud)
+        assert v == pytest.approx(0.0, abs=1e-10)
+        assert rg > 0
+
+    def test_history_accumulates(self, cloud):
+        analyzer = StructureAnalyzer()
+        analyzer.analyze(cloud)
+        analyzer.analyze(cloud + np.random.default_rng(2).normal(
+            scale=0.1, size=cloud.shape))
+        assert len(analyzer.rmsd_history) == 2
+        assert len(analyzer.rg_history) == 2
+        assert analyzer.rmsd_history[1] > 0
+
+    def test_on_real_md_trajectory(self):
+        engine = MDEngine(natoms=108, stride=5, seed=0)
+        engine.equilibrate(20)
+        analyzer = StructureAnalyzer()
+        for frame in engine.frames(3):
+            analyzer.analyze(frame.positions.astype(float))
+        assert analyzer.rmsd_history[0] == pytest.approx(0.0, abs=1e-7)
+        assert all(v >= 0 for v in analyzer.rmsd_history)

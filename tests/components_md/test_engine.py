@@ -1,0 +1,72 @@
+"""Tests for the MDEngine frame producer."""
+
+import numpy as np
+import pytest
+
+from repro.components.md.engine import MDEngine
+from repro.util.errors import ValidationError
+
+
+class TestFrames:
+    def test_frames_are_stride_apart(self):
+        eng = MDEngine(natoms=32, stride=10, cutoff=1.5, seed=0)
+        frames = list(eng.frames(3))
+        assert [f.md_step for f in frames] == [10, 20, 30]
+        assert [f.index for f in frames] == [0, 1, 2]
+
+    def test_frame_payload_is_float32_positions(self):
+        eng = MDEngine(natoms=32, stride=5, cutoff=1.5, seed=0)
+        frame = next(eng.frames(1))
+        assert frame.positions.dtype == np.float32
+        assert frame.positions.shape == (eng.natoms, 3)
+        assert frame.nbytes == eng.natoms * 3 * 4
+
+    def test_frames_evolve(self):
+        eng = MDEngine(natoms=32, stride=10, cutoff=1.5, seed=0)
+        f1, f2 = list(eng.frames(2))
+        assert not np.array_equal(f1.positions, f2.positions)
+
+    def test_deterministic_given_seed(self):
+        def run():
+            eng = MDEngine(natoms=32, stride=5, cutoff=1.5, seed=42)
+            return next(eng.frames(1)).positions
+
+        assert np.array_equal(run(), run())
+
+    def test_different_seeds_differ(self):
+        a = next(MDEngine(natoms=32, stride=5, cutoff=1.5, seed=1).frames(1)).positions
+        b = next(MDEngine(natoms=32, stride=5, cutoff=1.5, seed=2).frames(1)).positions
+        assert not np.array_equal(a, b)
+
+    def test_frame_observables_present(self):
+        eng = MDEngine(natoms=32, stride=5, cutoff=1.5, seed=0)
+        frame = next(eng.frames(1))
+        assert frame.temperature > 0
+        assert frame.kinetic > 0
+        assert frame.box_length == eng.system.box_length
+
+
+class TestEquilibration:
+    def test_equilibrate_does_not_emit_frames(self):
+        eng = MDEngine(natoms=32, stride=5, cutoff=1.5, seed=0)
+        eng.equilibrate(20)
+        frame = next(eng.frames(1))
+        assert frame.index == 0
+        assert frame.md_step == 25  # 20 equil + 5 stride
+
+    def test_thermostat_drives_to_target(self):
+        eng = MDEngine(natoms=108, stride=5, temperature=0.8, seed=0)
+        eng.equilibrate(300)
+        assert eng.system.temperature() == pytest.approx(0.8, rel=0.2)
+
+
+class TestValidation:
+    def test_bad_args(self):
+        with pytest.raises(ValidationError):
+            MDEngine(natoms=0)
+        with pytest.raises(ValidationError):
+            MDEngine(stride=0)
+        with pytest.raises(ValidationError):
+            MDEngine(density=-0.5)
+        with pytest.raises(ValidationError):
+            MDEngine().frames(0).__next__()

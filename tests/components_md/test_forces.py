@@ -1,0 +1,109 @@
+"""Tests for Lennard-Jones force evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.components.md.forces import (
+    _forces_allpairs,
+    _forces_celllist,
+    lennard_jones_forces,
+)
+from repro.components.md.system import build_system
+from repro.util.errors import ValidationError
+
+
+class TestPairPhysics:
+    def test_two_particles_at_minimum_feel_no_force(self):
+        # LJ minimum at r = 2^(1/6)
+        r0 = 2.0 ** (1.0 / 6.0)
+        pos = np.array([[0.0, 0.0, 0.0], [r0, 0.0, 0.0]])
+        forces, _ = lennard_jones_forces(pos, box_length=20.0)
+        assert np.allclose(forces, 0.0, atol=1e-12)
+
+    def test_minimum_energy_is_minus_epsilon_plus_shift(self):
+        r0 = 2.0 ** (1.0 / 6.0)
+        pos = np.array([[0.0, 0.0, 0.0], [r0, 0.0, 0.0]])
+        _, potential = lennard_jones_forces(pos, box_length=20.0)
+        # truncated-and-shifted potential: u(r0) = -1 - u_cut(2.5)
+        u_cut = 4.0 * (2.5**-12 - 2.5**-6)
+        assert potential == pytest.approx(-1.0 - u_cut)
+
+    def test_repulsive_inside_minimum(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        forces, potential = lennard_jones_forces(pos, box_length=20.0)
+        assert forces[0, 0] < 0  # pushed apart
+        assert forces[1, 0] > 0
+        # unshifted u(1) = 0, so only the cutoff shift remains
+        u_cut = 4.0 * (2.5**-12 - 2.5**-6)
+        assert potential == pytest.approx(-u_cut)
+
+    def test_attractive_outside_minimum(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.5, 0.0, 0.0]])
+        forces, _ = lennard_jones_forces(pos, box_length=20.0)
+        assert forces[0, 0] > 0  # pulled together
+        assert forces[1, 0] < 0
+
+    def test_beyond_cutoff_no_interaction(self):
+        pos = np.array([[0.0, 0.0, 0.0], [3.0, 0.0, 0.0]])
+        forces, potential = lennard_jones_forces(pos, box_length=20.0, cutoff=2.5)
+        assert np.allclose(forces, 0.0)
+        assert potential == 0.0
+
+    def test_newtons_third_law(self):
+        system = build_system(108)
+        forces, _ = lennard_jones_forces(system.positions, system.box_length)
+        assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_periodic_image_interaction(self):
+        # particles near opposite faces interact through the boundary
+        box = 10.0
+        pos = np.array([[0.2, 5.0, 5.0], [9.9, 5.0, 5.0]])  # r = 0.3 via PBC
+        forces, _ = lennard_jones_forces(pos, box_length=box)
+        assert forces[0, 0] > 0  # strongly repelled through the boundary
+        assert np.abs(forces).max() > 1.0
+
+
+class TestEdgeCases:
+    def test_single_particle(self):
+        forces, potential = lennard_jones_forces(np.zeros((1, 3)), 10.0)
+        assert forces.shape == (1, 3)
+        assert potential == 0.0
+
+    def test_overlapping_particles_rejected(self):
+        pos = np.zeros((2, 3))
+        with pytest.raises(ValidationError, match="overlap"):
+            lennard_jones_forces(pos, 10.0)
+
+    def test_box_too_small_for_cutoff_rejected(self):
+        with pytest.raises(ValidationError, match="minimum-image"):
+            lennard_jones_forces(np.zeros((1, 3)), box_length=4.0, cutoff=2.5)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            lennard_jones_forces(np.zeros((4, 2)), 10.0)
+
+
+class TestCellListConsistency:
+    @pytest.mark.parametrize("natoms", [108, 256, 500, 864])
+    def test_cell_list_matches_all_pairs(self, natoms):
+        system = build_system(natoms, density=0.8)
+        f_ap, u_ap = _forces_allpairs(system.positions, system.box_length, 2.5)
+        f_cl, u_cl = _forces_celllist(system.positions, system.box_length, 2.5)
+        assert np.allclose(f_ap, f_cl, atol=1e-9)
+        assert u_ap == pytest.approx(u_cl, abs=1e-8)
+
+    def test_dispatcher_picks_consistent_path(self):
+        # around the threshold the public function must agree with itself
+        system = build_system(400, density=0.8)
+        f, u = lennard_jones_forces(system.positions, system.box_length)
+        f_ap, u_ap = _forces_allpairs(system.positions, system.box_length, 2.5)
+        assert np.allclose(f, f_ap)
+        assert u == pytest.approx(u_ap)
+
+    def test_cell_list_with_unwrapped_positions(self):
+        system = build_system(500, density=0.8)
+        shifted = system.positions + 3 * system.box_length  # out of box
+        f1, u1 = _forces_celllist(system.positions, system.box_length, 2.5)
+        f2, u2 = _forces_celllist(shifted, system.box_length, 2.5)
+        assert np.allclose(f1, f2, atol=1e-9)
+        assert u1 == pytest.approx(u2)

@@ -1,0 +1,90 @@
+"""Tests for velocity-Verlet integration (conservation laws)."""
+
+import numpy as np
+import pytest
+
+from repro.components.md.integrator import VelocityVerletIntegrator
+from repro.components.md.system import build_system
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def system():
+    return build_system(108, density=0.8, temperature=1.0)
+
+
+class TestNVE:
+    def test_energy_conserved(self, system):
+        integ = VelocityVerletIntegrator(system, dt=0.002)
+        e0 = system.kinetic_energy() + integ.potential_energy
+        report = integ.run(200)
+        drift = abs(report.total_energy - e0) / abs(e0)
+        assert drift < 5e-3
+
+    def test_momentum_conserved(self, system):
+        integ = VelocityVerletIntegrator(system, dt=0.002)
+        integ.run(100)
+        assert np.allclose(system.momentum(), 0.0, atol=1e-8)
+
+    def test_smaller_dt_smaller_drift(self):
+        # compare drift over the same physical time from an equilibrated
+        # state (the initial lattice relaxation is chaotic and would
+        # dominate otherwise)
+        drifts = []
+        for dt, steps in ((0.01, 60), (0.0025, 240)):  # 0.6 time units
+            sys_ = build_system(108, density=0.8)
+            warm = VelocityVerletIntegrator(
+                sys_, dt=0.002, target_temperature=1.0
+            )
+            warm.run(150)
+            integ = VelocityVerletIntegrator(sys_, dt=dt)
+            e0 = sys_.kinetic_energy() + integ.potential_energy
+            report = integ.run(steps)
+            drifts.append(abs(report.total_energy - e0))
+        assert drifts[1] < drifts[0]
+
+    def test_step_count_advances(self, system):
+        integ = VelocityVerletIntegrator(system)
+        integ.run(7)
+        assert integ.step_count == 7
+
+    def test_positions_stay_wrapped(self, system):
+        integ = VelocityVerletIntegrator(system, dt=0.005)
+        integ.run(50)
+        assert (system.positions >= 0).all()
+        assert (system.positions < system.box_length).all()
+
+
+class TestThermostat:
+    def test_temperature_held_near_target(self):
+        sys_ = build_system(108, density=0.8, temperature=1.0)
+        integ = VelocityVerletIntegrator(
+            sys_, dt=0.005, target_temperature=1.2, thermostat_interval=5
+        )
+        integ.run(200)
+        assert sys_.temperature() == pytest.approx(1.2, rel=0.15)
+
+    def test_reports_observables(self, system):
+        integ = VelocityVerletIntegrator(system, dt=0.005)
+        report = integ.step()
+        assert report.step == 1
+        assert report.kinetic > 0
+        assert report.temperature > 0
+        assert report.total_energy == report.kinetic + report.potential
+
+
+class TestValidation:
+    def test_invalid_args(self, system):
+        with pytest.raises(ValidationError):
+            VelocityVerletIntegrator(system, dt=0)
+        with pytest.raises(ValidationError):
+            VelocityVerletIntegrator(system, cutoff=-1)
+        with pytest.raises(ValidationError):
+            VelocityVerletIntegrator(system, target_temperature=0)
+        with pytest.raises(ValidationError):
+            VelocityVerletIntegrator(system, thermostat_interval=0)
+
+    def test_run_requires_positive_steps(self, system):
+        integ = VelocityVerletIntegrator(system)
+        with pytest.raises(ValidationError):
+            integ.run(0)

@@ -1,0 +1,64 @@
+"""Property-based tests of MD physics invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.components.md.forces import lennard_jones_forces
+from repro.components.md.integrator import VelocityVerletIntegrator
+from repro.components.md.system import build_system
+from repro.util.rng import RandomSource
+
+
+class TestForceInvariants:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_forces_sum_to_zero_for_any_seed(self, seed):
+        system = build_system(108, rng=RandomSource(seed))
+        forces, _ = lennard_jones_forces(system.positions, system.box_length)
+        assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_translation_invariance(self, seed, shift):
+        """Rigid translation (mod the box) must not change forces/energy."""
+        system = build_system(108, rng=RandomSource(seed))
+        f1, u1 = lennard_jones_forces(system.positions, system.box_length)
+        moved = (system.positions + shift) % system.box_length
+        f2, u2 = lennard_jones_forces(moved, system.box_length)
+        assert np.allclose(f1, f2, atol=1e-8)
+        assert abs(u1 - u2) < 1e-8
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_permutation_equivariance(self, seed):
+        system = build_system(108, rng=RandomSource(seed))
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(system.natoms)
+        f1, u1 = lennard_jones_forces(system.positions, system.box_length)
+        f2, u2 = lennard_jones_forces(
+            system.positions[perm], system.box_length
+        )
+        assert np.allclose(f1[perm], f2, atol=1e-9)
+        assert abs(u1 - u2) < 1e-9
+
+
+class TestIntegratorInvariants:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_energy_drift_bounded_for_any_seed(self, seed):
+        system = build_system(108, rng=RandomSource(seed))
+        integ = VelocityVerletIntegrator(system, dt=0.002)
+        e0 = system.kinetic_energy() + integ.potential_energy
+        report = integ.run(50)
+        assert abs(report.total_energy - e0) / max(abs(e0), 1e-9) < 2e-2
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_momentum_zero_for_any_seed(self, seed):
+        system = build_system(108, rng=RandomSource(seed))
+        integ = VelocityVerletIntegrator(system, dt=0.002)
+        integ.run(30)
+        assert np.allclose(system.momentum(), 0.0, atol=1e-8)

@@ -1,0 +1,90 @@
+"""Tests for particle-system construction."""
+
+import numpy as np
+import pytest
+
+from repro.components.md.system import ParticleSystem, build_system, fcc_lattice
+from repro.util.errors import ValidationError
+from repro.util.rng import RandomSource
+
+
+class TestFccLattice:
+    def test_site_count(self):
+        assert fcc_lattice(2, 4.0).shape == (32, 3)  # 4 * 2^3
+
+    def test_sites_inside_box(self):
+        sites = fcc_lattice(3, 6.0)
+        assert (sites >= 0).all()
+        assert (sites < 6.0).all()
+
+    def test_no_overlapping_sites(self):
+        sites = fcc_lattice(3, 6.0)
+        diffs = sites[:, None, :] - sites[None, :, :]
+        d2 = (diffs**2).sum(axis=-1)
+        np.fill_diagonal(d2, np.inf)
+        assert d2.min() > 1e-6
+
+    def test_minimum_separation_is_fcc_nearest_neighbor(self):
+        a = 6.0 / 3  # cell edge
+        sites = fcc_lattice(3, 6.0)
+        diffs = sites[:, None, :] - sites[None, :, :]
+        diffs -= 6.0 * np.round(diffs / 6.0)
+        d2 = (diffs**2).sum(axis=-1)
+        np.fill_diagonal(d2, np.inf)
+        assert np.sqrt(d2.min()) == pytest.approx(a / np.sqrt(2), rel=1e-9)
+
+
+class TestBuildSystem:
+    def test_rounds_up_to_full_lattice(self):
+        system = build_system(100, density=0.8)
+        assert system.natoms == 108  # 4 * 3^3
+
+    def test_density_respected(self):
+        system = build_system(108, density=0.8)
+        assert system.density == pytest.approx(0.8)
+
+    def test_initial_temperature_exact(self):
+        system = build_system(108, temperature=1.5)
+        assert system.temperature() == pytest.approx(1.5)
+
+    def test_zero_net_momentum(self):
+        system = build_system(108)
+        assert np.allclose(system.momentum(), 0.0, atol=1e-10)
+
+    def test_deterministic_given_rng(self):
+        a = build_system(32, rng=RandomSource(5))
+        b = build_system(32, rng=RandomSource(5))
+        assert np.array_equal(a.velocities, b.velocities)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            build_system(0)
+        with pytest.raises(ValidationError):
+            build_system(10, density=-1)
+        with pytest.raises(ValidationError):
+            build_system(10, temperature=0)
+
+
+class TestParticleSystem:
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            ParticleSystem(np.zeros((4, 2)), np.zeros((4, 2)), 5.0)
+        with pytest.raises(ValidationError):
+            ParticleSystem(np.zeros((4, 3)), np.zeros((5, 3)), 5.0)
+        with pytest.raises(ValidationError):
+            ParticleSystem(np.zeros((4, 3)), np.zeros((4, 3)), 0.0)
+
+    def test_kinetic_energy(self):
+        sys_ = ParticleSystem(
+            np.zeros((2, 3)),
+            np.array([[1.0, 0, 0], [0, 2.0, 0]]),
+            5.0,
+        )
+        assert sys_.kinetic_energy() == pytest.approx(0.5 * (1 + 4))
+
+    def test_wrap(self):
+        sys_ = ParticleSystem(
+            np.array([[6.0, -1.0, 2.0]]), np.zeros((1, 3)), 5.0
+        )
+        sys_.wrap()
+        assert np.allclose(sys_.positions, [[1.0, 4.0, 2.0]])

@@ -1,0 +1,110 @@
+"""Tests for the Table 2 / Table 4 configuration definitions."""
+
+import pytest
+
+from repro.configs.base import Configuration, build_spec
+from repro.configs.table2 import TABLE2_CONFIGS, get_config as t2, table2
+from repro.configs.table4 import TABLE4_CONFIGS, get_config as t4, table4
+from repro.runtime.placement import MemberPlacement
+from repro.util.errors import ConfigurationError
+
+
+class TestTable2:
+    def test_all_seven_present_in_order(self):
+        names = [c.name for c in table2()]
+        assert names == ["Cf", "Cc", "C1.1", "C1.2", "C1.3", "C1.4", "C1.5"]
+
+    def test_matches_paper_table2_exactly(self):
+        """Node indexes straight from the paper's Table 2."""
+        expected = {
+            "Cf": (2, [(0, (1,))]),
+            "Cc": (1, [(0, (0,))]),
+            "C1.1": (3, [(0, (2,)), (1, (2,))]),
+            "C1.2": (3, [(0, (1,)), (0, (2,))]),
+            "C1.3": (3, [(0, (0,)), (1, (2,))]),
+            "C1.4": (2, [(0, (1,)), (0, (1,))]),
+            "C1.5": (2, [(0, (0,)), (1, (1,))]),
+        }
+        for name, (nodes, members) in expected.items():
+            config = t2(name)
+            assert config.num_nodes == nodes
+            assert [
+                (m.simulation_node, m.analysis_nodes) for m in config.members
+            ] == members
+
+    def test_one_analysis_per_member(self):
+        for c in table2():
+            assert c.num_analyses_per_member == 1
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            t2("C9.9")
+
+
+class TestTable4:
+    def test_all_eight_present_in_order(self):
+        names = [c.name for c in table4()]
+        assert names == [f"C2.{i}" for i in range(1, 9)]
+
+    def test_matches_paper_table4_exactly(self):
+        expected = {
+            "C2.1": (3, [(0, (2, 2)), (1, (2, 2))]),
+            "C2.2": (3, [(0, (1, 1)), (0, (2, 2))]),
+            "C2.3": (3, [(0, (1, 2)), (0, (1, 2))]),
+            "C2.4": (3, [(0, (0, 2)), (1, (1, 2))]),
+            "C2.5": (3, [(0, (1, 2)), (1, (0, 2))]),
+            "C2.6": (2, [(0, (1, 1)), (0, (1, 1))]),
+            "C2.7": (2, [(0, (0, 1)), (1, (0, 1))]),
+            "C2.8": (2, [(0, (0, 0)), (1, (1, 1))]),
+        }
+        for name, (nodes, members) in expected.items():
+            config = t4(name)
+            assert config.num_nodes == nodes
+            assert [
+                (m.simulation_node, m.analysis_nodes) for m in config.members
+            ] == members
+
+    def test_two_analyses_per_member(self):
+        for c in table4():
+            assert c.num_analyses_per_member == 2
+
+    def test_all_fit_cori_nodes(self):
+        """Every Table 4 placement fits 32-core nodes exactly (the paper
+        notes C2.6-C2.8 fully saturate their nodes)."""
+        for c in table4():
+            spec = build_spec(c)
+            demand = c.placement().validate_against(spec, cores_per_node=32)
+            assert max(demand.values()) <= 32
+        for name in ("C2.6", "C2.7", "C2.8"):
+            spec = build_spec(t4(name))
+            demand = t4(name).placement().validate_against(spec, 32)
+            assert all(d == 32 for d in demand.values())
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            t4("C1.1")
+
+
+class TestConfiguration:
+    def test_members_must_agree_on_k(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(
+                "bad",
+                "mismatched couplings",
+                2,
+                (MemberPlacement(0, (0,)), MemberPlacement(1, (0, 1))),
+            )
+
+    def test_build_spec_shapes(self):
+        spec = build_spec(t4("C2.8"), n_steps=5)
+        assert spec.num_members == 2
+        assert spec.members[0].num_couplings == 2
+        assert spec.members[0].n_steps == 5
+        assert spec.members[0].simulation.cores == 16
+        assert spec.members[0].analyses[0].cores == 8
+
+    def test_placement_round_trip(self):
+        config = t2("C1.5")
+        placement = config.placement()
+        assert placement.num_nodes == config.num_nodes
+        assert placement.members == config.members

@@ -1,0 +1,88 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components.analysis import EigenAnalysisModel
+from repro.components.simulation import MDSimulationModel
+from repro.core.stages import AnalysisStages, MemberStages, SimulationStages
+from repro.des.engine import Environment
+from repro.platform.specs import make_cori_like_cluster, small_test_cluster
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec, default_member
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh discrete-event environment."""
+    return Environment()
+
+
+@pytest.fixture
+def cori2():
+    """A 2-node Cori-like cluster."""
+    return make_cori_like_cluster(2)
+
+
+@pytest.fixture
+def cori3():
+    """A 3-node Cori-like cluster."""
+    return make_cori_like_cluster(3)
+
+
+@pytest.fixture
+def small_cluster():
+    """A small fast cluster for structural tests."""
+    return small_test_cluster(2)
+
+
+@pytest.fixture
+def balanced_member() -> MemberStages:
+    """A member in the Idle Analyzer regime (paper's operating point)."""
+    return MemberStages(
+        simulation=SimulationStages(compute=14.0, write=0.3),
+        analyses=(AnalysisStages(read=0.1, analyze=12.9),),
+    )
+
+
+@pytest.fixture
+def idle_sim_member() -> MemberStages:
+    """A member in the Idle Simulation regime."""
+    return MemberStages(
+        simulation=SimulationStages(compute=10.0, write=0.2),
+        analyses=(AnalysisStages(read=0.5, analyze=14.0),),
+    )
+
+
+@pytest.fixture
+def two_member_spec() -> EnsembleSpec:
+    """Two default members with a short step count (fast tests)."""
+    return EnsembleSpec(
+        "test-ensemble",
+        (default_member("em1", n_steps=6), default_member("em2", n_steps=6)),
+    )
+
+
+@pytest.fixture
+def single_member_spec() -> EnsembleSpec:
+    """One default member with a short step count."""
+    return EnsembleSpec("test-single", (default_member("em1", n_steps=6),))
+
+
+@pytest.fixture
+def colocated_placement(two_member_spec) -> EnsemblePlacement:
+    """C1.5-style placement for the two-member spec."""
+    return EnsemblePlacement(
+        2, (MemberPlacement(0, (0,)), MemberPlacement(1, (1,)))
+    )
+
+
+@pytest.fixture
+def sim_model() -> MDSimulationModel:
+    return MDSimulationModel("sim")
+
+
+@pytest.fixture
+def ana_model() -> EigenAnalysisModel:
+    return EigenAnalysisModel("ana")

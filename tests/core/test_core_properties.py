@@ -1,0 +1,148 @@
+"""Property-based tests tying the core equations together."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.efficiency import computational_efficiency
+from repro.core.indicators import (
+    IndicatorStage,
+    MemberMeasurement,
+    PlacementSets,
+    apply_stages,
+    placement_indicator,
+)
+from repro.core.insitu import member_makespan, non_overlapped_segment
+from repro.core.stages import AnalysisStages, MemberStages, SimulationStages
+
+U = IndicatorStage.USAGE
+A = IndicatorStage.ALLOCATION
+P = IndicatorStage.PROVISIONING
+
+durations = st.floats(min_value=0.01, max_value=1000.0, allow_nan=False)
+
+node_sets = st.sets(
+    st.integers(min_value=0, max_value=7), min_size=1, max_size=4
+).map(frozenset)
+
+
+@st.composite
+def members(draw):
+    sim = SimulationStages(draw(durations), draw(durations))
+    k = draw(st.integers(min_value=1, max_value=4))
+    analyses = tuple(
+        AnalysisStages(draw(durations), draw(durations)) for _ in range(k)
+    )
+    return MemberStages(sim, analyses)
+
+
+@st.composite
+def placements(draw, k=None):
+    sim_nodes = draw(node_sets)
+    count = k if k is not None else draw(st.integers(min_value=1, max_value=4))
+    analyses = tuple(draw(node_sets) for _ in range(count))
+    return PlacementSets(sim_nodes, analyses)
+
+
+class TestSigmaProperties:
+    @given(members())
+    @settings(max_examples=150)
+    def test_sigma_bounds_every_side(self, m):
+        sigma = non_overlapped_segment(m)
+        assert sigma >= m.simulation.active
+        for a in m.analyses:
+            assert sigma >= a.active
+
+    @given(members(), st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=100)
+    def test_makespan_linear_in_steps(self, m, n):
+        assert member_makespan(m, n) == pytest.approx(
+            n * non_overlapped_segment(m)
+        )
+
+    @given(members(), durations)
+    @settings(max_examples=100)
+    def test_sigma_scale_equivariance(self, m, factor):
+        """Scaling all stage times scales sigma and leaves E unchanged."""
+        scaled = MemberStages(
+            SimulationStages(
+                m.simulation.compute * factor, m.simulation.write * factor
+            ),
+            tuple(
+                AnalysisStages(a.read * factor, a.analyze * factor)
+                for a in m.analyses
+            ),
+        )
+        assert non_overlapped_segment(scaled) == pytest.approx(
+            factor * non_overlapped_segment(m), rel=1e-9
+        )
+        assert computational_efficiency(scaled) == pytest.approx(
+            computational_efficiency(m), rel=1e-9
+        )
+
+
+class TestPlacementProperties:
+    @given(placements())
+    @settings(max_examples=150)
+    def test_cp_in_unit_interval(self, p):
+        cp = placement_indicator(p)
+        assert 0.0 < cp <= 1.0 + 1e-12
+
+    @given(placements())
+    @settings(max_examples=150)
+    def test_cp_is_one_iff_all_colocated(self, p):
+        cp = placement_indicator(p)
+        all_colocated = all(
+            p.coupling_co_located(j) for j in range(p.num_couplings)
+        )
+        assert (abs(cp - 1.0) < 1e-12) == all_colocated
+
+    @given(placements())
+    @settings(max_examples=150)
+    def test_d_i_inequality(self, p):
+        assert p.num_nodes <= len(p.simulation_nodes) + sum(
+            len(a) for a in p.analysis_nodes
+        )
+
+
+class TestIndicatorProperties:
+    @given(
+        members(),
+        st.integers(min_value=1, max_value=256),
+        st.integers(min_value=8, max_value=16),
+    )
+    @settings(max_examples=150)
+    def test_final_value_independent_of_stage_order(self, m, cores, total_nodes):
+        placement = PlacementSets(
+            frozenset({0}), tuple(frozenset({j % 4}) for j in range(m.num_couplings))
+        )
+        meas = MemberMeasurement("em", m, cores, placement)
+        uap = apply_stages(meas, [U, A, P], total_nodes)
+        upa = apply_stages(meas, [U, P, A], total_nodes)
+        assert uap == pytest.approx(upa, rel=1e-12)
+
+    @given(members(), st.integers(min_value=1, max_value=256))
+    @settings(max_examples=100)
+    def test_provisioning_monotone_in_nodes(self, m, cores):
+        """Using more nodes for the same performance lowers P^{U,P}."""
+        placement = PlacementSets(
+            frozenset({0}), tuple(frozenset({0}) for _ in range(m.num_couplings))
+        )
+        meas = MemberMeasurement("em", m, cores, placement)
+        values = [
+            apply_stages(meas, [U, P], total_nodes=n) for n in (1, 2, 4, 8)
+        ]
+        if meas.efficiency > 0:
+            assert values == sorted(values, reverse=True)
+
+    @given(members(), st.integers(min_value=1, max_value=256))
+    @settings(max_examples=100)
+    def test_allocation_layer_never_raises_magnitude(self, m, cores):
+        """|P^{U,A}| <= |P^U| since CP <= 1."""
+        placement = PlacementSets(
+            frozenset({0}),
+            tuple(frozenset({j + 1}) for j in range(m.num_couplings)),
+        )
+        meas = MemberMeasurement("em", m, cores, placement)
+        base = apply_stages(meas, [U], total_nodes=8)
+        weighted = apply_stages(meas, [U, A], total_nodes=8)
+        assert abs(weighted) <= abs(base) + 1e-12

@@ -1,0 +1,114 @@
+"""Tests for the computational efficiency E (Eq. 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.efficiency import computational_efficiency, coupling_efficiency
+from repro.core.insitu import non_overlapped_segment
+from repro.core.stages import AnalysisStages, MemberStages, SimulationStages
+from repro.util.errors import ValidationError
+
+durations = st.floats(min_value=0.01, max_value=1000.0, allow_nan=False)
+
+
+def member_from(sim_c, sim_w, pairs):
+    return MemberStages(
+        SimulationStages(sim_c, sim_w),
+        tuple(AnalysisStages(r, a) for r, a in pairs),
+    )
+
+
+class TestClosedForm:
+    def test_k1_is_min_over_max(self, balanced_member):
+        sim = balanced_member.simulation.active
+        ana = balanced_member.analyses[0].active
+        assert computational_efficiency(balanced_member) == pytest.approx(
+            min(sim, ana) / max(sim, ana)
+        )
+
+    def test_perfect_overlap_is_one(self):
+        m = member_from(10.0, 0.0, [(0.0, 10.0)])
+        assert computational_efficiency(m) == pytest.approx(1.0)
+
+    def test_decreases_with_imbalance(self):
+        balanced = member_from(10.0, 0.0, [(0.0, 10.0)])
+        unbalanced = member_from(10.0, 0.0, [(0.0, 2.0)])
+        assert computational_efficiency(unbalanced) < computational_efficiency(
+            balanced
+        )
+
+    def test_zero_duration_member_rejected(self):
+        m = member_from(0.0, 0.0, [(0.0, 0.0)])
+        with pytest.raises(ValidationError):
+            computational_efficiency(m)
+        with pytest.raises(ValidationError):
+            coupling_efficiency(m, 0)
+
+    def test_matches_paper_example_values(self):
+        """E for the paper's operating point (~0.84 at 8 analysis cores,
+        per our Figure 7 reproduction)."""
+        m = member_from(15.3, 0.3, [(0.1, 13.0)])
+        assert computational_efficiency(m) == pytest.approx(0.8397, abs=1e-3)
+
+
+class TestDefinitionalEquivalence:
+    @given(
+        durations,
+        durations,
+        st.lists(st.tuples(durations, durations), min_size=1, max_size=5),
+    )
+    @settings(max_examples=200)
+    def test_closed_form_equals_mean_of_coupling_efficiencies(
+        self, sim_c, sim_w, pairs
+    ):
+        """Eq. 3's derivation: E = (1/K) sum_i (1 - (I^S + I^A_i)/sigma)."""
+        m = member_from(sim_c, sim_w, pairs)
+        definitional = sum(
+            coupling_efficiency(m, i) for i in range(m.num_couplings)
+        ) / m.num_couplings
+        assert computational_efficiency(m) == pytest.approx(
+            definitional, rel=1e-9, abs=1e-12
+        )
+
+
+class TestBounds:
+    @given(durations, durations, st.tuples(durations, durations))
+    @settings(max_examples=200)
+    def test_k1_efficiency_in_unit_interval(self, sim_c, sim_w, pair):
+        m = member_from(sim_c, sim_w, [pair])
+        e = computational_efficiency(m)
+        assert 0.0 < e <= 1.0 + 1e-12
+
+    @given(
+        durations,
+        durations,
+        st.lists(st.tuples(durations, durations), min_size=1, max_size=6),
+    )
+    @settings(max_examples=200)
+    def test_general_bounds(self, sim_c, sim_w, pairs):
+        """E <= 1 always; E > 1/K - 1 (see module docstring)."""
+        m = member_from(sim_c, sim_w, pairs)
+        e = computational_efficiency(m)
+        k = m.num_couplings
+        assert e <= 1.0 + 1e-12
+        assert e > 1.0 / k - 1.0 - 1e-12
+
+    def test_negative_efficiency_for_extreme_imbalance(self):
+        """K=2 with one crushed coupling drives E below zero — the
+        behaviour the extended headline experiment exploits."""
+        m = member_from(10.0, 0.0, [(0.0, 9.0), (0.0, 100.0)])
+        assert computational_efficiency(m) < 0.0
+
+
+class TestMonotonicity:
+    @given(durations, durations, durations, durations)
+    @settings(max_examples=100)
+    def test_shrinking_the_short_side_never_raises_e(self, sim_c, sim_w, r, a):
+        """Making the idle side even shorter only adds idle time."""
+        m1 = member_from(sim_c, sim_w, [(r, a)])
+        short_is_analysis = (r + a) <= (sim_c + sim_w)
+        if short_is_analysis:
+            m2 = member_from(sim_c, sim_w, [(r / 2, a / 2)])
+        else:
+            m2 = member_from(sim_c / 2, sim_w / 2, [(r, a)])
+        assert computational_efficiency(m2) <= computational_efficiency(m1) + 1e-9

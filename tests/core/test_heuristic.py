@@ -1,0 +1,84 @@
+"""Tests for the §3.4 core-allocation heuristic."""
+
+import pytest
+
+from repro.core.heuristic import (
+    choose_analysis_cores,
+    sweep_analysis_cores,
+)
+from repro.core.stages import AnalysisStages, MemberStages, SimulationStages
+from repro.util.errors import ValidationError
+
+
+def synthetic_evaluator(sim_active=14.0, a1=60.0, serial=0.1, read=0.1):
+    """Member stages with an Amdahl-scaled analysis."""
+
+    def evaluate(cores: int) -> MemberStages:
+        analyze = a1 * (serial + (1 - serial) / cores)
+        return MemberStages(
+            SimulationStages(compute=sim_active, write=0.0),
+            (AnalysisStages(read=read, analyze=analyze),),
+        )
+
+    return evaluate
+
+
+class TestSweep:
+    def test_reports_one_point_per_count(self):
+        pts = sweep_analysis_cores(synthetic_evaluator(), [1, 2, 4, 8])
+        assert [p.cores for p in pts] == [1, 2, 4, 8]
+
+    def test_feasibility_is_eq4(self):
+        pts = sweep_analysis_cores(synthetic_evaluator(), [1, 4, 8, 16])
+        for p in pts:
+            assert p.feasible == (p.analysis_active <= p.simulation_active)
+
+    def test_sigma_is_max_of_sides(self):
+        pts = sweep_analysis_cores(synthetic_evaluator(), [1, 8])
+        for p in pts:
+            assert p.sigma == pytest.approx(
+                max(p.simulation_active, p.analysis_active)
+            )
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep_analysis_cores(synthetic_evaluator(), [])
+
+
+class TestChoice:
+    def test_picks_smallest_feasible_count(self):
+        """In the feasible region E decreases with more cores, so the
+        heuristic lands on the crossover count."""
+        choice = choose_analysis_cores(
+            synthetic_evaluator(), [1, 2, 4, 8, 16, 32]
+        )
+        assert choice.cores == 8
+        assert choice.point.feasible
+
+    def test_efficiency_maximal_among_feasible(self):
+        choice = choose_analysis_cores(
+            synthetic_evaluator(), [1, 2, 4, 8, 16, 32]
+        )
+        feasible = [p for p in choice.sweep if p.feasible]
+        assert choice.point.efficiency == max(p.efficiency for p in feasible)
+
+    def test_no_feasible_count_returns_none(self):
+        # analysis always slower than the simulation
+        evaluator = synthetic_evaluator(sim_active=0.5, a1=100.0, serial=0.5)
+        assert choose_analysis_cores(evaluator, [1, 2, 4]) is None
+
+    def test_tie_breaks_toward_fewer_cores(self):
+        # fully serial analysis: same stages at every count -> same E
+        evaluator = synthetic_evaluator(sim_active=20.0, a1=10.0, serial=1.0)
+        choice = choose_analysis_cores(evaluator, [8, 4, 2, 1])
+        assert choice.cores == 1
+
+    def test_paper_operating_point(self):
+        """The full pipeline choice matches the paper's 8 cores."""
+        from repro.experiments.fig7 import heuristic_choice
+
+        choice = heuristic_choice()
+        assert choice.cores == 8
+        # paper: feasible from 8 cores up
+        feasible_counts = [p.cores for p in choice.sweep if p.feasible]
+        assert feasible_counts == [8, 16, 32]

@@ -1,0 +1,182 @@
+"""Tests for the multi-stage performance indicators (Eqs. 5-8)."""
+
+import pytest
+
+from repro.core.indicators import (
+    IndicatorStage,
+    MemberMeasurement,
+    PlacementSets,
+    apply_stages,
+    ensemble_node_count,
+    indicator_path,
+    placement_indicator,
+    resource_usage_indicator,
+)
+from repro.core.stages import AnalysisStages, MemberStages, SimulationStages
+from repro.util.errors import ValidationError
+
+U = IndicatorStage.USAGE
+A = IndicatorStage.ALLOCATION
+P = IndicatorStage.PROVISIONING
+
+
+def placement(sim_nodes, ana_node_sets):
+    return PlacementSets(
+        frozenset(sim_nodes), tuple(frozenset(a) for a in ana_node_sets)
+    )
+
+
+@pytest.fixture
+def measurement(balanced_member):
+    return MemberMeasurement(
+        name="em1",
+        stages=balanced_member,
+        total_cores=24,
+        placement=placement({0}, [{0}]),
+    )
+
+
+class TestPlacementSets:
+    def test_paper_table2_example(self):
+        """§4.1's worked example: C1.1 has s1={0}, a1={2}."""
+        p = placement({0}, [{2}])
+        assert p.num_nodes == 2
+        assert not p.coupling_co_located(0)
+
+    def test_co_location_criterion(self):
+        # |s| == |s U a| iff a is a subset of s
+        assert placement({0}, [{0}]).coupling_co_located(0)
+        assert placement({0, 1}, [{1}]).coupling_co_located(0)
+        assert not placement({0}, [{1}]).coupling_co_located(0)
+
+    def test_d_i_inequality(self):
+        """d_i <= |s_i| + sum_j |a_i^j| (Table 3), equality iff disjoint."""
+        shared = placement({0}, [{0}, {1}])
+        assert shared.num_nodes == 2 <= 1 + 1 + 1
+        disjoint = placement({0}, [{1}, {2}])
+        assert disjoint.num_nodes == 3 == 1 + 1 + 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            placement(set(), [{0}])
+        with pytest.raises(ValidationError):
+            placement({0}, [])
+        with pytest.raises(ValidationError):
+            placement({0}, [set()])
+        with pytest.raises(ValidationError):
+            placement({-1}, [{0}])
+
+
+class TestPlacementIndicator:
+    def test_fully_colocated_is_one(self):
+        assert placement_indicator(placement({0}, [{0}, {0}])) == 1.0
+
+    def test_fully_split_k1(self):
+        assert placement_indicator(placement({0}, [{1}])) == pytest.approx(0.5)
+
+    def test_paper_eq6_worked_example(self):
+        # s={0}, a1={0}, a2={2}: CP = (1/2) * (1/1 + 1/2) = 0.75
+        cp = placement_indicator(placement({0}, [{0}, {2}]))
+        assert cp == pytest.approx(0.75)
+
+    def test_decreases_as_components_spread(self):
+        cps = [
+            placement_indicator(placement({0}, [{0}, {0}])),
+            placement_indicator(placement({0}, [{0}, {1}])),
+            placement_indicator(placement({0}, [{1}, {2}])),
+        ]
+        assert cps[0] > cps[1] > cps[2]
+
+    def test_always_in_unit_interval(self):
+        for p in [
+            placement({0}, [{1}, {2}, {3}]),
+            placement({0, 1}, [{2, 3}, {0}]),
+            placement({5}, [{5}]),
+        ]:
+            assert 0.0 < placement_indicator(p) <= 1.0
+
+
+class TestResourceUsage:
+    def test_eq5(self):
+        assert resource_usage_indicator(0.8, 24) == pytest.approx(0.8 / 24)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValidationError):
+            resource_usage_indicator(0.5, 0)
+
+
+class TestApplyStages:
+    def test_usage_must_come_first(self, measurement):
+        with pytest.raises(ValidationError):
+            apply_stages(measurement, [A, U], total_nodes=2)
+        with pytest.raises(ValidationError):
+            apply_stages(measurement, [], total_nodes=2)
+
+    def test_no_duplicate_stages(self, measurement):
+        with pytest.raises(ValidationError):
+            apply_stages(measurement, [U, A, A], total_nodes=2)
+
+    def test_stage_order_commutes_at_final_stage(self, measurement):
+        """P^{U,A,P} == P^{U,P,A} (paper §5.2)."""
+        uap = apply_stages(measurement, [U, A, P], total_nodes=3)
+        upa = apply_stages(measurement, [U, P, A], total_nodes=3)
+        assert uap == pytest.approx(upa)
+
+    def test_each_stage_weight(self, measurement):
+        base = apply_stages(measurement, [U], total_nodes=2)
+        cp = placement_indicator(measurement.placement)
+        assert apply_stages(measurement, [U, A], total_nodes=2) == pytest.approx(
+            base * cp
+        )
+        assert apply_stages(measurement, [U, P], total_nodes=2) == pytest.approx(
+            base / 2
+        )
+
+    def test_member_wider_than_ensemble_rejected(self, balanced_member):
+        m = MemberMeasurement(
+            "em",
+            balanced_member,
+            total_cores=24,
+            placement=placement({0}, [{1}]),
+        )
+        with pytest.raises(ValidationError):
+            apply_stages(m, [U], total_nodes=1)
+
+    def test_indicator_path_labels(self, measurement):
+        path = indicator_path(measurement, [U, A, P], total_nodes=2)
+        assert list(path) == ["U", "U,A", "U,A,P"]
+        assert path["U"] == measurement.base_indicator
+
+
+class TestMemberMeasurement:
+    def test_coupling_count_must_match(self, balanced_member):
+        with pytest.raises(ValidationError):
+            MemberMeasurement(
+                "em",
+                balanced_member,  # K = 1
+                total_cores=24,
+                placement=placement({0}, [{0}, {1}]),  # K = 2
+            )
+
+    def test_efficiency_exposed(self, measurement, balanced_member):
+        from repro.core.efficiency import computational_efficiency
+
+        assert measurement.efficiency == pytest.approx(
+            computational_efficiency(balanced_member)
+        )
+
+
+class TestEnsembleNodeCount:
+    def test_m_inequality(self):
+        """M <= sum d_i, equality iff members share no nodes (Table 3)."""
+        p1 = placement({0}, [{0}])
+        p2 = placement({1}, [{1}])
+        assert ensemble_node_count([p1, p2]) == 2  # disjoint: equality
+
+        p3 = placement({0}, [{1}])
+        p4 = placement({0}, [{1}])
+        assert ensemble_node_count([p3, p4]) == 2 < 4  # shared: strict
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ensemble_node_count([])

@@ -1,0 +1,105 @@
+"""Tests for Eq. 1 (non-overlapped segment) and Eq. 2 (makespan)."""
+
+import pytest
+
+from repro.core.insitu import (
+    CouplingRegime,
+    analysis_idle_time,
+    classify_coupling,
+    member_makespan,
+    non_overlapped_segment,
+    simulation_idle_time,
+)
+from repro.core.stages import AnalysisStages, MemberStages, SimulationStages
+from repro.util.errors import ValidationError
+
+
+class TestNonOverlappedSegment:
+    def test_idle_analyzer_regime(self, balanced_member):
+        # S+W = 14.3 > R+A = 13.0 -> sigma = S+W
+        assert non_overlapped_segment(balanced_member) == pytest.approx(14.3)
+
+    def test_idle_simulation_regime(self, idle_sim_member):
+        # S+W = 10.2 < R+A = 14.5 -> sigma = R+A
+        assert non_overlapped_segment(idle_sim_member) == pytest.approx(14.5)
+
+    def test_slowest_of_k_analyses_wins(self):
+        m = MemberStages(
+            SimulationStages(10.0, 0.5),
+            (
+                AnalysisStages(0.1, 5.0),
+                AnalysisStages(0.2, 18.0),  # slowest coupling
+                AnalysisStages(0.1, 9.0),
+            ),
+        )
+        assert non_overlapped_segment(m) == pytest.approx(18.2)
+
+    def test_exact_balance(self):
+        m = MemberStages(
+            SimulationStages(10.0, 0.0), (AnalysisStages(0.0, 10.0),)
+        )
+        assert non_overlapped_segment(m) == pytest.approx(10.0)
+
+
+class TestMakespan:
+    def test_eq2(self, balanced_member):
+        assert member_makespan(balanced_member, 37) == pytest.approx(37 * 14.3)
+
+    def test_invalid_steps(self, balanced_member):
+        with pytest.raises(ValidationError):
+            member_makespan(balanced_member, 0)
+
+
+class TestIdleTimes:
+    def test_idle_analyzer_sim_has_zero_idle(self, balanced_member):
+        assert simulation_idle_time(balanced_member) == pytest.approx(0.0)
+        assert analysis_idle_time(balanced_member, 0) == pytest.approx(1.3)
+
+    def test_idle_simulation_analysis_has_zero_idle(self, idle_sim_member):
+        assert analysis_idle_time(idle_sim_member, 0) == pytest.approx(0.0)
+        assert simulation_idle_time(idle_sim_member) == pytest.approx(4.3)
+
+    def test_idles_are_non_negative(self, balanced_member, idle_sim_member):
+        for m in (balanced_member, idle_sim_member):
+            assert simulation_idle_time(m) >= 0
+            for j in range(m.num_couplings):
+                assert analysis_idle_time(m, j) >= 0
+
+    def test_index_out_of_range(self, balanced_member):
+        with pytest.raises(ValidationError):
+            analysis_idle_time(balanced_member, 1)
+
+
+class TestClassification:
+    def test_idle_analyzer(self, balanced_member):
+        assert (
+            classify_coupling(balanced_member, 0) is CouplingRegime.IDLE_ANALYZER
+        )
+
+    def test_idle_simulation(self, idle_sim_member):
+        assert (
+            classify_coupling(idle_sim_member, 0)
+            is CouplingRegime.IDLE_SIMULATION
+        )
+
+    def test_balanced(self):
+        m = MemberStages(
+            SimulationStages(10.0, 0.5), (AnalysisStages(0.5, 10.0),)
+        )
+        assert classify_coupling(m, 0) is CouplingRegime.BALANCED
+
+    def test_mixed_regimes_per_coupling(self):
+        """Figure 6's scenario: one coupling in each regime."""
+        m = MemberStages(
+            SimulationStages(10.0, 0.5),
+            (
+                AnalysisStages(0.5, 14.0),  # idle simulation
+                AnalysisStages(0.1, 5.0),  # idle analyzer
+            ),
+        )
+        assert classify_coupling(m, 0) is CouplingRegime.IDLE_SIMULATION
+        assert classify_coupling(m, 1) is CouplingRegime.IDLE_ANALYZER
+
+    def test_index_out_of_range(self, balanced_member):
+        with pytest.raises(ValidationError):
+            classify_coupling(balanced_member, 5)

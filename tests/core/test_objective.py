@@ -1,0 +1,84 @@
+"""Tests for the ensemble objective F (Eq. 9)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.objective import objective_function, rank_by_objective
+from repro.util.errors import ValidationError
+from repro.util.stats import population_std
+
+values = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestObjectiveFunction:
+    def test_single_member_is_identity(self):
+        assert objective_function([0.5]) == pytest.approx(0.5)
+
+    def test_uniform_members_no_penalty(self):
+        assert objective_function([0.3, 0.3, 0.3]) == pytest.approx(0.3)
+
+    def test_eq9_by_hand(self):
+        vals = [1.0, 3.0]
+        # mean 2, population std 1 -> F = 1
+        assert objective_function(vals) == pytest.approx(1.0)
+
+    def test_variability_penalized(self):
+        uniform = objective_function([0.5, 0.5])
+        spread = objective_function([0.1, 0.9])  # same mean
+        assert spread < uniform
+
+    def test_two_members_equals_min(self):
+        """For N=2, mean - std = min (a useful identity for reasoning
+        about the 2-member configuration sets)."""
+        for a, b in [(0.1, 0.9), (3.0, 1.0), (-1.0, 5.0)]:
+            assert objective_function([a, b]) == pytest.approx(min(a, b))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            objective_function([])
+
+    @given(values)
+    @settings(max_examples=200)
+    def test_f_never_exceeds_mean(self, vals):
+        f = objective_function(vals)
+        mean = sum(vals) / len(vals)
+        assert f <= mean + 1e-9
+
+    @given(values)
+    @settings(max_examples=200)
+    def test_matches_definition(self, vals):
+        f = objective_function(vals)
+        mean = sum(vals) / len(vals)
+        assert f == pytest.approx(mean - population_std(vals), abs=1e-9)
+
+    @given(values, st.floats(min_value=-10, max_value=10, allow_nan=False))
+    @settings(max_examples=100)
+    def test_translation_equivariance(self, vals, shift):
+        """F(P + c) = F(P) + c — std is translation invariant."""
+        f1 = objective_function(vals)
+        f2 = objective_function([v + shift for v in vals])
+        assert f2 == pytest.approx(f1 + shift, abs=1e-6)
+
+
+class TestRanking:
+    def test_best_first(self):
+        ranking = rank_by_objective(
+            {
+                "bad": [0.1, 0.9],
+                "good": [0.6, 0.6],
+                "middling": [0.4, 0.5],
+            }
+        )
+        assert [name for name, _ in ranking] == ["good", "middling", "bad"]
+
+    def test_scores_attached(self):
+        ranking = rank_by_objective({"x": [1.0, 3.0]})
+        assert ranking == [("x", pytest.approx(1.0))]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            rank_by_objective({})

@@ -1,0 +1,82 @@
+"""Tests for stage containers and steady-state estimation."""
+
+import pytest
+
+from repro.core.stages import (
+    AnalysisStages,
+    MemberStages,
+    SimulationStages,
+    estimate_steady_state,
+)
+from repro.util.errors import ValidationError
+
+
+class TestStageContainers:
+    def test_simulation_active_time(self):
+        s = SimulationStages(compute=10.0, write=0.5)
+        assert s.active == 10.5
+
+    def test_analysis_active_time(self):
+        a = AnalysisStages(read=0.2, analyze=8.0)
+        assert a.active == 8.2
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(ValidationError):
+            SimulationStages(compute=-1.0, write=0.0)
+        with pytest.raises(ValidationError):
+            AnalysisStages(read=0.0, analyze=-0.1)
+
+    def test_member_requires_analysis(self):
+        with pytest.raises(ValidationError):
+            MemberStages(SimulationStages(1.0, 0.1), ())
+
+    def test_member_coerces_list_to_tuple(self):
+        m = MemberStages(
+            SimulationStages(1.0, 0.1), [AnalysisStages(0.1, 0.5)]
+        )
+        assert isinstance(m.analyses, tuple)
+        assert m.num_couplings == 1
+
+    def test_multi_coupling_count(self, balanced_member):
+        m = MemberStages(
+            balanced_member.simulation,
+            balanced_member.analyses * 3,
+        )
+        assert m.num_couplings == 3
+
+
+class TestSteadyStateEstimation:
+    def test_constant_series(self):
+        assert estimate_steady_state([5.0] * 20) == pytest.approx(5.0)
+
+    def test_warmup_discarded(self):
+        # 20% warm-up: first 2 of 10 samples are transient
+        samples = [50.0, 30.0] + [10.0] * 8
+        assert estimate_steady_state(samples, warmup_fraction=0.2) == pytest.approx(
+            10.0
+        )
+
+    def test_straggler_trimmed(self):
+        samples = [10.0] * 30 + [100.0]  # one straggler step
+        est = estimate_steady_state(samples, warmup_fraction=0.0)
+        assert est == pytest.approx(10.0)
+
+    def test_single_sample(self):
+        assert estimate_steady_state([3.0]) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            estimate_steady_state([])
+
+    def test_invalid_warmup_rejected(self):
+        with pytest.raises(ValidationError):
+            estimate_steady_state([1.0], warmup_fraction=1.0)
+        with pytest.raises(ValidationError):
+            estimate_steady_state([1.0], warmup_fraction=-0.1)
+
+    def test_noisy_series_recovers_mean(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        samples = list(10.0 + rng.normal(scale=0.2, size=100))
+        assert estimate_steady_state(samples) == pytest.approx(10.0, abs=0.1)

@@ -1,0 +1,155 @@
+"""Property-based tests of the DES engine's fundamental guarantees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.des.engine import Environment
+from repro.des.resources import Resource
+from repro.des.store import Store
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestEventOrdering:
+    @given(delays)
+    @settings(max_examples=50)
+    def test_events_fire_in_time_order(self, ds):
+        env = Environment()
+        fired = []
+
+        def worker(env, delay):
+            yield env.timeout(delay)
+            fired.append(env.now)
+
+        for d in ds:
+            env.process(worker(env, d))
+        env.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(ds)
+
+    @given(delays)
+    @settings(max_examples=50)
+    def test_clock_never_goes_backwards(self, ds):
+        env = Environment()
+        observed = []
+
+        def worker(env, delay):
+            yield env.timeout(delay)
+            observed.append(env.now)
+            yield env.timeout(delay / 2 + 0.1)
+            observed.append(env.now)
+
+        for d in ds:
+            env.process(worker(env, d))
+        prev = -1.0
+        while env.peek() != float("inf"):
+            env.step()
+            assert env.now >= prev
+            prev = env.now
+
+
+class TestResourceInvariants:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=8),
+                st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+    )
+    @settings(max_examples=50)
+    def test_in_use_never_exceeds_capacity(self, capacity, jobs):
+        env = Environment()
+        res = Resource(env, capacity=capacity)
+        violations = []
+
+        def worker(env, res, amount, hold):
+            amount = min(amount, res.capacity)
+            req = res.request(amount)
+            yield req
+            if res.in_use > res.capacity:
+                violations.append(res.in_use)
+            yield env.timeout(hold)
+            res.release(req)
+
+        for amount, hold in jobs:
+            env.process(worker(env, res, amount, hold))
+        env.run()
+        assert not violations
+        assert res.in_use == 0  # everything returned
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=30)
+    def test_all_requests_eventually_served(self, capacity, njobs):
+        env = Environment()
+        res = Resource(env, capacity=capacity)
+        served = []
+
+        def worker(env, res, i):
+            req = res.request(1)
+            yield req
+            yield env.timeout(1.0)
+            res.release(req)
+            served.append(i)
+
+        for i in range(njobs):
+            env.process(worker(env, res, i))
+        env.run()
+        assert sorted(served) == list(range(njobs))
+
+
+class TestStoreInvariants:
+    @given(st.lists(st.integers(), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_items_preserved_and_fifo(self, items):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env, store):
+            for item in items:
+                yield store.put(item)
+                yield env.timeout(0.1)
+
+        def consumer(env, store):
+            for _ in items:
+                got.append((yield store.get()))
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert got == items
+
+    @given(
+        st.lists(st.integers(), min_size=1, max_size=20),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=50)
+    def test_bounded_store_never_overfills(self, items, capacity):
+        env = Environment()
+        store = Store(env, capacity=capacity)
+        max_seen = [0]
+
+        def producer(env, store):
+            for item in items:
+                yield store.put(item)
+                max_seen[0] = max(max_seen[0], len(store))
+
+        def consumer(env, store):
+            for _ in items:
+                yield env.timeout(1.0)
+                yield store.get()
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert max_seen[0] <= capacity

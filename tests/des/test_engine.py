@@ -1,0 +1,123 @@
+"""Tests for the DES environment: clock, scheduling, run modes."""
+
+import pytest
+
+from repro.des.engine import EmptySchedule, Environment
+from repro.util.errors import SimulationError, ValidationError
+
+
+class TestClock:
+    def test_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_negative_initial_time_rejected(self):
+        with pytest.raises(ValidationError):
+            Environment(initial_time=-1.0)
+
+    def test_timeout_advances_clock(self, env):
+        def proc(env):
+            yield env.timeout(2.5)
+
+        env.process(proc(env))
+        env.run()
+        assert env.now == 2.5
+
+
+class TestRunModes:
+    def test_run_until_event_returns_value(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            return "payload"
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == "payload"
+
+    def test_run_until_time_sets_clock_even_when_queue_empties(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_time_does_not_process_later_events(self, env):
+        fired = []
+
+        def proc(env):
+            yield env.timeout(5.0)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=2.0)
+        assert fired == []
+        env.run()
+        assert fired == [5.0]
+
+    def test_run_until_past_time_rejected(self, env):
+        env.run(until=5.0)
+        with pytest.raises(ValidationError):
+            env.run(until=1.0)
+
+    def test_run_until_untriggerable_event_raises(self, env):
+        orphan = env.event()
+        with pytest.raises(EmptySchedule):
+            env.run(until=orphan)
+
+    def test_run_until_already_processed_event(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            return 7
+
+        p = env.process(proc(env))
+        env.run()
+        assert env.run(until=p) == 7
+
+    def test_step_on_empty_queue_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_peek_reports_next_event_time(self, env):
+        env.timeout(3.0)
+        env.timeout(1.0)
+        assert env.peek() == 1.0
+
+    def test_peek_empty_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+
+class TestDeterminism:
+    def test_same_program_identical_trace(self):
+        def program():
+            env = Environment()
+            log = []
+
+            def worker(env, name, delay):
+                yield env.timeout(delay)
+                log.append((name, env.now))
+
+            # deliberately simultaneous events
+            for name in ("a", "b", "c"):
+                env.process(worker(env, name, 1.0))
+            env.run()
+            return log
+
+        assert program() == program()
+
+    def test_simultaneous_events_fifo_by_creation(self, env):
+        log = []
+
+        def worker(env, name):
+            yield env.timeout(1.0)
+            log.append(name)
+
+        for name in ("first", "second", "third"):
+            env.process(worker(env, name))
+        env.run()
+        assert log == ["first", "second", "third"]
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValidationError):
+            env.timeout(-1.0)

@@ -1,0 +1,94 @@
+"""Tests for TimeSeriesMonitor."""
+
+import numpy as np
+import pytest
+
+from repro.des.monitor import TimeSeriesMonitor
+from repro.util.errors import ValidationError
+
+
+def advance(env, t):
+    """Advance the environment's clock to time t."""
+    env.run(until=t)
+
+
+class TestRecording:
+    def test_records_time_value_pairs(self, env):
+        mon = TimeSeriesMonitor(env)
+        mon.record(1.0)
+        advance(env, 2.0)
+        mon.record(3.0)
+        assert list(mon.times) == [0.0, 2.0]
+        assert list(mon.values) == [1.0, 3.0]
+        assert len(mon) == 2
+
+    def test_same_instant_overwrites(self, env):
+        mon = TimeSeriesMonitor(env)
+        mon.record(1.0)
+        mon.record(2.0)
+        assert list(mon.values) == [2.0]
+
+    def test_last(self, env):
+        mon = TimeSeriesMonitor(env)
+        assert mon.last() is None
+        mon.record(5.0)
+        assert mon.last() == (0.0, 5.0)
+
+
+class TestIntegration:
+    def test_integral_of_step_function(self, env):
+        mon = TimeSeriesMonitor(env)
+        mon.record(2.0)  # t=0: value 2
+        advance(env, 4.0)
+        mon.record(1.0)  # t=4: value 1
+        advance(env, 10.0)
+        # 2*4 + 1*6 = 14
+        assert mon.integral() == pytest.approx(14.0)
+
+    def test_integral_with_explicit_horizon(self, env):
+        mon = TimeSeriesMonitor(env)
+        mon.record(3.0)
+        advance(env, 10.0)
+        assert mon.integral(until=2.0) == pytest.approx(6.0)
+
+    def test_integral_empty_is_zero(self, env):
+        assert TimeSeriesMonitor(env).integral() == 0.0
+
+    def test_integral_horizon_before_first_observation_raises(self, env):
+        advance(env, 5.0)
+        mon = TimeSeriesMonitor(env)
+        mon.record(1.0)
+        with pytest.raises(ValidationError):
+            mon.integral(until=1.0)
+
+    def test_time_weighted_mean(self, env):
+        mon = TimeSeriesMonitor(env)
+        mon.record(0.0)  # half the window at 0
+        advance(env, 5.0)
+        mon.record(10.0)  # half the window at 10
+        advance(env, 10.0)
+        assert mon.time_weighted_mean() == pytest.approx(5.0)
+
+    def test_time_weighted_mean_zero_span(self, env):
+        mon = TimeSeriesMonitor(env)
+        mon.record(7.0)
+        assert mon.time_weighted_mean() == 7.0
+
+    def test_time_weighted_mean_empty_raises(self, env):
+        with pytest.raises(ValidationError):
+            TimeSeriesMonitor(env).time_weighted_mean()
+
+    def test_utilization_tracking_use_case(self, env):
+        # model a resource going 0 -> 8 -> 4 -> 0 cores busy
+        mon = TimeSeriesMonitor(env, name="cores-busy")
+        mon.record(0.0)
+        advance(env, 1.0)
+        mon.record(8.0)
+        advance(env, 3.0)
+        mon.record(4.0)
+        advance(env, 5.0)
+        mon.record(0.0)
+        advance(env, 6.0)
+        # integral: 0*1 + 8*2 + 4*2 + 0*1 = 24 core-seconds
+        assert mon.integral() == pytest.approx(24.0)
+        assert mon.time_weighted_mean() == pytest.approx(4.0)

@@ -1,0 +1,155 @@
+"""Tests for Store and FilterStore."""
+
+import math
+
+import pytest
+
+from repro.des.store import FilterStore, Store
+from repro.util.errors import ValidationError
+
+
+class TestStoreBasics:
+    def test_put_then_get_fifo(self, env):
+        store = Store(env)
+        got = []
+
+        def producer(env, store):
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer(env, store):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_until_put(self, env):
+        times = []
+
+        def consumer(env, store):
+            item = yield store.get()
+            times.append((item, env.now))
+
+        def producer(env, store):
+            yield env.timeout(3.0)
+            yield store.put("late")
+
+        store = Store(env)
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert times == [("late", 3.0)]
+
+    def test_bounded_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env, store):
+            yield store.put("a")
+            log.append(("put-a", env.now))
+            yield store.put("b")  # blocks until 'a' consumed
+            log.append(("put-b", env.now))
+
+        def consumer(env, store):
+            yield env.timeout(5.0)
+            item = yield store.get()
+            log.append(("got", item, env.now))
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert log == [("put-a", 0.0), ("got", "a", 5.0), ("put-b", 5.0)]
+
+    def test_len_reports_stored_items(self, env):
+        store = Store(env)
+
+        def proc(env, store):
+            yield store.put(1)
+            yield store.put(2)
+
+        env.process(proc(env, store))
+        env.run()
+        assert len(store) == 2
+
+    def test_invalid_capacity_rejected(self, env):
+        for bad in (0, -1, 2.5, True):
+            with pytest.raises(ValidationError):
+                Store(env, capacity=bad)
+
+    def test_infinite_capacity_is_default(self, env):
+        assert Store(env).capacity == math.inf
+
+
+class TestFilterStore:
+    def test_predicate_get_skips_non_matching(self, env):
+        store = FilterStore(env)
+        got = []
+
+        def producer(env, store):
+            yield store.put(("chunk", 0))
+            yield store.put(("chunk", 1))
+
+        def consumer(env, store):
+            item = yield store.get(lambda it: it[1] == 1)
+            got.append(item)
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert got == [("chunk", 1)]
+        assert list(store.items) == [("chunk", 0)]
+
+    def test_predicate_waits_for_matching_item(self, env):
+        store = FilterStore(env)
+        got = []
+
+        def consumer(env, store):
+            item = yield store.get(lambda it: it == "wanted")
+            got.append((item, env.now))
+
+        def producer(env, store):
+            yield env.timeout(1.0)
+            yield store.put("unwanted")
+            yield env.timeout(1.0)
+            yield store.put("wanted")
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert got == [("wanted", 2.0)]
+
+    def test_multiple_consumers_different_predicates(self, env):
+        store = FilterStore(env)
+        got = {}
+
+        def consumer(env, store, name, want):
+            item = yield store.get(lambda it, want=want: it == want)
+            got[name] = item
+
+        def producer(env, store):
+            yield env.timeout(1.0)
+            yield store.put("b")
+            yield store.put("a")
+
+        env.process(consumer(env, store, "ca", "a"))
+        env.process(consumer(env, store, "cb", "b"))
+        env.process(producer(env, store))
+        env.run()
+        assert got == {"ca": "a", "cb": "b"}
+
+    def test_plain_get_is_fifo(self, env):
+        store = FilterStore(env)
+        got = []
+
+        def proc(env, store):
+            yield store.put(1)
+            yield store.put(2)
+            got.append((yield store.get()))
+
+        env.process(proc(env, store))
+        env.run()
+        assert got == [1]

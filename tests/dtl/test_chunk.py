@@ -1,0 +1,94 @@
+"""Tests for the chunk abstraction and its wire format."""
+
+import numpy as np
+import pytest
+
+from repro.dtl.chunk import Chunk, ChunkKey
+from repro.util.errors import DTLError, ValidationError
+
+
+@pytest.fixture
+def chunk():
+    return Chunk(
+        key=ChunkKey(producer="sim1", step=3),
+        payload=np.arange(24, dtype=np.float32).reshape(8, 3),
+        metadata={"natoms": 8, "units": "reduced"},
+    )
+
+
+class TestChunkKey:
+    def test_empty_producer_rejected(self):
+        with pytest.raises(ValidationError):
+            ChunkKey(producer="", step=0)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValidationError):
+            ChunkKey(producer="x", step=-1)
+
+    def test_hashable(self):
+        assert ChunkKey("x", 1) == ChunkKey("x", 1)
+        assert len({ChunkKey("x", 1), ChunkKey("x", 1), ChunkKey("x", 2)}) == 2
+
+
+class TestChunk:
+    def test_nbytes(self, chunk):
+        assert chunk.nbytes == 24 * 4
+
+    def test_payload_made_contiguous(self):
+        noncontig = np.arange(24, dtype=np.float64).reshape(4, 6).T
+        assert not noncontig.flags["C_CONTIGUOUS"]
+        c = Chunk(ChunkKey("x", 0), noncontig)
+        assert c.payload.flags["C_CONTIGUOUS"]
+
+    def test_non_json_metadata_rejected(self):
+        with pytest.raises(ValidationError):
+            Chunk(ChunkKey("x", 0), np.zeros(3), {"bad": object()})
+
+    def test_equality_covers_payload(self, chunk):
+        other = Chunk(chunk.key, chunk.payload.copy(), dict(chunk.metadata))
+        assert chunk == other
+        changed = Chunk(chunk.key, chunk.payload + 1, dict(chunk.metadata))
+        assert chunk != changed
+
+
+class TestSerialization:
+    def test_round_trip(self, chunk):
+        assert Chunk.deserialize(chunk.serialize()) == chunk
+
+    @pytest.mark.parametrize(
+        "dtype", [np.float32, np.float64, np.int32, np.int64, np.uint8]
+    )
+    def test_round_trip_dtypes(self, dtype):
+        c = Chunk(ChunkKey("p", 0), np.arange(10).astype(dtype))
+        back = Chunk.deserialize(c.serialize())
+        assert back.payload.dtype == np.dtype(dtype)
+        assert np.array_equal(back.payload, c.payload)
+
+    def test_round_trip_scalar_like_shapes(self):
+        for shape in [(1,), (5,), (2, 3), (2, 3, 4), (1, 1, 1, 1)]:
+            c = Chunk(ChunkKey("p", 0), np.zeros(shape))
+            assert Chunk.deserialize(c.serialize()).payload.shape == shape
+
+    def test_round_trip_empty_metadata(self):
+        c = Chunk(ChunkKey("p", 1), np.ones(4))
+        assert Chunk.deserialize(c.serialize()).metadata == {}
+
+    def test_bad_magic_rejected(self, chunk):
+        buf = bytearray(chunk.serialize())
+        buf[0:4] = b"XXXX"
+        with pytest.raises(DTLError, match="magic"):
+            Chunk.deserialize(bytes(buf))
+
+    def test_corruption_detected_by_crc(self, chunk):
+        buf = bytearray(chunk.serialize())
+        buf[-1] ^= 0xFF  # flip a payload bit
+        with pytest.raises(DTLError, match="CRC"):
+            Chunk.deserialize(bytes(buf))
+
+    def test_truncated_buffer_rejected(self, chunk):
+        with pytest.raises(DTLError):
+            Chunk.deserialize(chunk.serialize()[:4])
+
+    def test_deserialized_payload_is_writable_copy(self, chunk):
+        back = Chunk.deserialize(chunk.serialize())
+        back.payload[0, 0] = 99.0  # must not raise (not a frozen frombuffer view)

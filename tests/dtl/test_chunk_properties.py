@@ -1,0 +1,65 @@
+"""Property-based tests: chunk serialization round-trips for all inputs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dtl.chunk import Chunk, ChunkKey
+
+payloads = hnp.arrays(
+    dtype=st.sampled_from([np.float32, np.float64, np.int32, np.int64]),
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=8),
+    # integer elements are exactly representable in every sampled dtype,
+    # so round-trip equality is well defined
+    elements=st.integers(min_value=-(2**24), max_value=2**24),
+)
+
+metadata = st.dictionaries(
+    st.text(min_size=1, max_size=10),
+    st.one_of(
+        st.integers(min_value=-(2**31), max_value=2**31),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(max_size=20),
+        st.booleans(),
+        st.none(),
+    ),
+    max_size=5,
+)
+
+producers = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=1000),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestSerializationRoundTrip:
+    @given(payloads, metadata, producers, st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_preserves_everything(self, payload, meta, producer, step):
+        chunk = Chunk(ChunkKey(producer, step), payload, meta)
+        back = Chunk.deserialize(chunk.serialize())
+        assert back.key.producer == producer
+        assert back.key.step == step
+        assert back.payload.dtype == chunk.payload.dtype
+        assert back.payload.shape == chunk.payload.shape
+        assert np.array_equal(back.payload, chunk.payload)
+        assert back.metadata == chunk.metadata
+        assert back == chunk
+
+    @given(payloads)
+    @settings(max_examples=50, deadline=None)
+    def test_double_round_trip_is_stable(self, payload):
+        chunk = Chunk(ChunkKey("p", 0), payload)
+        once = Chunk.deserialize(chunk.serialize())
+        twice = Chunk.deserialize(once.serialize())
+        assert once == twice
+
+    @given(payloads, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_serialized_size_bounded(self, payload, step):
+        """Wire overhead stays small relative to the payload."""
+        chunk = Chunk(ChunkKey("producer", step), payload)
+        wire = chunk.serialize()
+        assert len(wire) >= chunk.nbytes
+        assert len(wire) <= chunk.nbytes + 1024  # header + metadata bound

@@ -1,0 +1,79 @@
+"""Property-based tests of the staging-tier cost models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dtl.burstbuffer import BurstBufferDTL
+from repro.dtl.dimes import InMemoryStagingDTL
+from repro.dtl.pfs import ParallelFilesystemDTL
+
+sizes = st.floats(min_value=0.0, max_value=1e10, allow_nan=False)
+nodes = st.integers(min_value=0, max_value=200)
+
+TIERS = [InMemoryStagingDTL, BurstBufferDTL, ParallelFilesystemDTL]
+
+
+class TestCostMonotonicity:
+    @given(sizes, sizes, nodes, nodes)
+    @settings(max_examples=100)
+    def test_read_cost_monotone_in_bytes(self, a, b, src, dst):
+        lo, hi = sorted((a, b))
+        for tier_cls in TIERS:
+            tier = tier_cls()
+            assert (
+                tier.read_cost(src, dst, lo).total
+                <= tier.read_cost(src, dst, hi).total + 1e-12
+            )
+
+    @given(sizes, sizes, nodes)
+    @settings(max_examples=100)
+    def test_write_cost_monotone_in_bytes(self, a, b, node):
+        lo, hi = sorted((a, b))
+        for tier_cls in TIERS:
+            tier = tier_cls()
+            assert (
+                tier.write_cost(node, lo).total
+                <= tier.write_cost(node, hi).total + 1e-12
+            )
+
+    @given(sizes, nodes, nodes)
+    @settings(max_examples=100)
+    def test_costs_never_negative(self, nbytes, src, dst):
+        for tier_cls in TIERS:
+            tier = tier_cls()
+            for cost in (
+                tier.write_cost(src, nbytes),
+                tier.read_cost(src, dst, nbytes),
+            ):
+                assert cost.marshal >= 0
+                assert cost.transport >= 0
+                assert cost.producer_overhead >= 0
+
+
+class TestLocalityDominance:
+    @given(sizes, nodes, nodes)
+    @settings(max_examples=100)
+    def test_dimes_local_never_worse_than_remote(self, nbytes, src, dst):
+        tier = InMemoryStagingDTL()
+        local = tier.read_cost(src, src, nbytes)
+        remote = tier.read_cost(src, dst, nbytes)
+        if src == dst:
+            assert local.total == remote.total
+        else:
+            assert local.total <= remote.total + 1e-12
+            assert local.producer_overhead <= remote.producer_overhead
+
+    @given(sizes, nodes, nodes)
+    @settings(max_examples=100)
+    def test_external_tiers_placement_invariant(self, nbytes, src, dst):
+        for tier_cls in (BurstBufferDTL, ParallelFilesystemDTL):
+            tier = tier_cls()
+            assert tier.read_cost(src, dst, nbytes) == tier.read_cost(
+                src, src, nbytes
+            )
+
+    @given(sizes, nodes)
+    @settings(max_examples=100)
+    def test_writes_never_tax_the_producer(self, nbytes, node):
+        for tier_cls in TIERS:
+            assert tier_cls().write_cost(node, nbytes).producer_overhead == 0.0

@@ -1,0 +1,95 @@
+"""Tests for the three staging tiers' cost models."""
+
+import pytest
+
+from repro.dtl.burstbuffer import BurstBufferDTL
+from repro.dtl.dimes import InMemoryStagingDTL
+from repro.dtl.pfs import ParallelFilesystemDTL
+from repro.platform.network import DragonflyNetwork
+from repro.util.errors import ValidationError
+from repro.util.units import MIB
+
+
+class TestDimesCosts:
+    @pytest.fixture
+    def dtl(self):
+        return InMemoryStagingDTL(network=DragonflyNetwork())
+
+    def test_write_is_placement_invariant(self, dtl):
+        a = dtl.write_cost(0, 3 * MIB)
+        b = dtl.write_cost(7, 3 * MIB)
+        assert a == b
+
+    def test_local_read_cheaper_than_remote(self, dtl):
+        local = dtl.read_cost(0, 0, 3 * MIB)
+        remote = dtl.read_cost(0, 1, 3 * MIB)
+        assert local.total < remote.total
+
+    def test_local_read_has_no_producer_overhead(self, dtl):
+        assert dtl.read_cost(0, 0, 3 * MIB).producer_overhead == 0.0
+
+    def test_remote_read_taxes_producer(self, dtl):
+        remote = dtl.read_cost(0, 1, 3 * MIB)
+        assert remote.producer_overhead > 0.0
+        assert remote.producer_overhead >= dtl.service_latency
+
+    def test_remote_cost_grows_with_distance(self, dtl):
+        near = dtl.read_cost(0, 1, 3 * MIB).total  # same router
+        far = dtl.read_cost(0, 1000, 3 * MIB).total  # cross group
+        assert near < far
+
+    def test_progress_tax_default_positive(self, dtl):
+        assert dtl.producer_progress_tax > 0.0
+
+    def test_negative_bytes_rejected(self, dtl):
+        with pytest.raises(ValidationError):
+            dtl.write_cost(0, -1)
+        with pytest.raises(ValidationError):
+            dtl.read_cost(0, 1, -1)
+
+
+class TestBurstBufferCosts:
+    @pytest.fixture
+    def dtl(self):
+        return BurstBufferDTL()
+
+    def test_placement_insensitive(self, dtl):
+        assert dtl.read_cost(0, 0, MIB) == dtl.read_cost(0, 9, MIB)
+
+    def test_no_producer_overhead(self, dtl):
+        assert dtl.read_cost(0, 9, MIB).producer_overhead == 0.0
+
+    def test_latency_floor(self, dtl):
+        assert dtl.read_cost(0, 1, 0).transport == pytest.approx(
+            dtl.access_latency
+        )
+
+    def test_no_progress_tax_attribute_effects(self, dtl):
+        # executor reads this via getattr with default 0
+        assert getattr(dtl, "producer_progress_tax", 0.0) == 0.0
+
+
+class TestPfsCosts:
+    def test_bandwidth_divided_among_clients(self):
+        one = ParallelFilesystemDTL(concurrent_clients=1)
+        four = ParallelFilesystemDTL(concurrent_clients=4)
+        assert four.per_stream_bandwidth == one.per_stream_bandwidth / 4
+        assert (
+            four.read_cost(0, 1, 100 * MIB).transport
+            > one.read_cost(0, 1, 100 * MIB).transport
+        )
+
+    def test_metadata_latency_dominates_small_io(self):
+        pfs = ParallelFilesystemDTL()
+        cost = pfs.write_cost(0, 1024)
+        assert cost.transport == pytest.approx(pfs.metadata_latency, rel=0.01)
+
+
+class TestTierOrdering:
+    def test_in_memory_fastest_for_colocated_reads(self):
+        """The tier hierarchy that motivates in situ (paper §1)."""
+        nbytes = 3 * MIB
+        dimes = InMemoryStagingDTL().read_cost(0, 0, nbytes).total
+        bb = BurstBufferDTL().read_cost(0, 0, nbytes).total
+        pfs = ParallelFilesystemDTL().read_cost(0, 0, nbytes).total
+        assert dimes < bb < pfs

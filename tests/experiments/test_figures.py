@@ -1,0 +1,183 @@
+"""Structural tests for each figure experiment (fast settings).
+
+The paper's *claims* about each figure are asserted in
+``tests/integration/test_paper_claims.py``; these tests check that each
+experiment produces well-formed data.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    run_contention_ablation,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_headline,
+    run_locality_ablation,
+    run_tax_ablation,
+)
+from repro.experiments.fig8 import STAGE_PATHS, ranking
+from repro.experiments.headline import run_headline_extended
+
+FAST = dict(trials=2, n_steps=4)
+
+
+class TestFig3:
+    def test_rows_cover_all_configs_and_components(self):
+        r = run_fig3(**FAST)
+        configs = set(r.column("configuration"))
+        assert configs == {"Cf", "Cc", "C1.1", "C1.2", "C1.3", "C1.4", "C1.5"}
+        # 2 one-member configs x 2 comps + 5 two-member configs x 4 comps
+        assert len(r.rows) == 2 * 2 + 5 * 4
+
+    def test_metrics_in_valid_ranges(self):
+        r = run_fig3(**FAST)
+        for row in r.rows:
+            assert 0 <= row["llc_miss_ratio"] <= 1
+            assert row["memory_intensity"] >= 0
+            assert row["ipc"] > 0
+            assert row["execution_time"] > 0
+
+    def test_config_filter(self):
+        r = run_fig3(config_names=["Cc"], **FAST)
+        assert set(r.column("configuration")) == {"Cc"}
+
+
+class TestFig4:
+    def test_one_row_per_member(self):
+        r = run_fig4(**FAST)
+        assert len(r.rows) == 2 * 1 + 5 * 2
+
+    def test_makespans_positive(self):
+        r = run_fig4(**FAST)
+        assert all(row["makespan"] > 0 for row in r.rows)
+
+
+class TestFig5:
+    def test_one_row_per_config(self):
+        r = run_fig5(**FAST)
+        assert len(r.rows) == 7
+
+    def test_ensemble_makespan_at_least_member_max(self):
+        f4 = run_fig4(**FAST)
+        f5 = run_fig5(**FAST)
+        for row in f5.rows:
+            members = [
+                r["makespan"]
+                for r in f4.rows
+                if r["configuration"] == row["configuration"]
+            ]
+            assert row["ensemble_makespan"] >= max(members) - 1e-6
+
+
+class TestFig7:
+    def test_default_sweep_columns(self):
+        r = run_fig7()
+        assert r.column("analysis_cores") == [1, 2, 4, 8, 16, 32]
+        for row in r.rows:
+            assert row["sigma"] == pytest.approx(
+                max(row["simulation_active"], row["analysis_active"])
+            )
+
+    def test_sim_side_constant_across_sweep(self):
+        r = run_fig7()
+        sims = r.column("simulation_active")
+        assert max(sims) - min(sims) < 1e-9
+
+    def test_analysis_time_monotone_decreasing(self):
+        r = run_fig7()
+        ana = r.column("analysis_active")
+        assert ana == sorted(ana, reverse=True)
+
+
+class TestFig8And9:
+    def test_fig8_rows_and_paths(self):
+        r = run_fig8(**FAST)
+        assert set(r.column("configuration")) == {
+            "C1.1", "C1.2", "C1.3", "C1.4", "C1.5",
+        }
+        for row in r.rows:
+            for label in STAGE_PATHS:
+                assert label in row
+
+    def test_fig8_final_stage_order_independent(self):
+        r = run_fig8(**FAST)
+        for row in r.rows:
+            assert row["U,A,P"] == pytest.approx(row["U,P,A"], rel=1e-9)
+
+    def test_fig9_rows(self):
+        r = run_fig9(**FAST)
+        assert set(r.column("configuration")) == {
+            f"C2.{i}" for i in range(1, 9)
+        }
+
+    def test_ranking_helper(self):
+        r = run_fig8(**FAST)
+        names = ranking(r, "U,A,P")
+        assert len(names) == 5
+        values = [r.row_for("configuration", n)["U,A,P"] for n in names]
+        assert values == sorted(values, reverse=True)
+
+
+class TestHeadline:
+    def test_rows_for_both_sets(self):
+        r = run_headline(**FAST)
+        assert len(r.rows) == 6  # 2 sets x 3 stages
+        for row in r.rows:
+            assert row["best_F"] >= row["worst_F"]
+            if row["worst_F"] > 0:
+                assert row["improvement_ratio"] == pytest.approx(
+                    row["best_F"] / row["worst_F"]
+                )
+
+    def test_extended_demonstrates_dynamic_range(self):
+        r = run_headline_extended(n_steps=4)
+        one, two = r.rows
+        assert one["worst_F"] < one["best_F"]
+        # two stragglers drive F non-positive -> unbounded improvement
+        assert two["worst_F"] <= 0
+        assert math.isinf(two["improvement_ratio"])
+
+
+class TestAblations:
+    def test_contention_ablation_shape(self):
+        r = run_contention_ablation(**FAST)
+        assert len(r.rows) == 4
+        on = {
+            row["configuration"]: row["ensemble_makespan"]
+            for row in r.rows
+            if row["variant"] == "contention-on"
+        }
+        off = {
+            row["configuration"]: row["ensemble_makespan"]
+            for row in r.rows
+            if row["variant"] == "contention-off"
+        }
+        # with contention off the C1.4 penalty collapses
+        gap_on = on["C1.4"] / on["C1.5"]
+        gap_off = off["C1.4"] / off["C1.5"]
+        assert gap_on > gap_off
+
+    def test_locality_ablation(self):
+        r = run_locality_ablation(**FAST)
+        rows = {
+            (row["variant"], row["configuration"]): row["ensemble_makespan"]
+            for row in r.rows
+        }
+        # under DIMES co-location wins; under the burst buffer it loses
+        assert rows[("dimes", "Cc")] < rows[("dimes", "Cf")]
+        assert rows[("burst-buffer", "Cc")] > rows[("burst-buffer", "Cf")]
+
+    def test_tax_ablation(self):
+        r = run_tax_ablation(**FAST)
+        rows = {
+            (row["variant"], row["configuration"]): row["ensemble_makespan"]
+            for row in r.rows
+        }
+        assert rows[("tax-on", "Cc")] < rows[("tax-on", "Cf")]
+        assert rows[("tax-off", "Cf")] < rows[("tax-off", "Cc")]

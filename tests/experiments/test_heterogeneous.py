@@ -1,0 +1,57 @@
+"""Tests for the mixed-regime (Figure 6) experiment."""
+
+import pytest
+
+from repro.core.efficiency import computational_efficiency
+from repro.core.insitu import CouplingRegime, non_overlapped_segment
+from repro.experiments.heterogeneous import (
+    build_mixed_member,
+    run_heterogeneous,
+)
+from repro.runtime.analytic import predict_member_stages
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+
+
+class TestMixedRegimes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_heterogeneous(slow_cores=4, fast_cores=16, n_steps=6)
+
+    def test_one_coupling_per_regime(self, result):
+        """Figure 6's scenario: Idle Simulation and Idle Analyzer at once."""
+        regimes = {row["coupling"]: row["regime"] for row in result.rows}
+        assert regimes["(Sim, slow)"] == CouplingRegime.IDLE_SIMULATION.value
+        assert regimes["(Sim, fast)"] == CouplingRegime.IDLE_ANALYZER.value
+
+    def test_slow_coupling_defines_sigma(self):
+        spec = build_mixed_member(slow_cores=4, fast_cores=16, n_steps=1)
+        placement = EnsemblePlacement(3, (MemberPlacement(0, (1, 2)),))
+        stages = predict_member_stages(spec, placement)["mix"]
+        assert non_overlapped_segment(stages) == pytest.approx(
+            stages.analyses[0].active
+        )
+        assert stages.analyses[0].active > stages.simulation.active
+
+    def test_member_e_is_mean_of_couplings(self, result):
+        effs = [row["coupling_efficiency"] for row in result.rows]
+        spec = build_mixed_member(slow_cores=4, fast_cores=16, n_steps=1)
+        placement = EnsemblePlacement(3, (MemberPlacement(0, (1, 2)),))
+        stages = predict_member_stages(spec, placement)["mix"]
+        assert computational_efficiency(stages) == pytest.approx(
+            sum(effs) / 2, rel=1e-3
+        )
+
+    def test_fast_coupling_less_efficient_than_balance(self, result):
+        """The fast analysis idles most of the step: its per-coupling
+        efficiency is the lowest (both it and the sim wait on the slow
+        coupling's period)."""
+        effs = {
+            row["coupling"]: row["coupling_efficiency"]
+            for row in result.rows
+        }
+        assert effs["(Sim, fast)"] < effs["(Sim, slow)"]
+
+    def test_identical_analyses_give_equal_couplings(self):
+        result = run_heterogeneous(slow_cores=8, fast_cores=8, n_steps=4)
+        effs = [row["coupling_efficiency"] for row in result.rows]
+        assert effs[0] == pytest.approx(effs[1], rel=0.02)

@@ -1,0 +1,49 @@
+"""Tests for the ensemble-size scaling experiment."""
+
+import pytest
+
+from repro.experiments.scaling import run_scaling
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    return run_scaling(member_counts=(1, 2, 4, 8), n_steps=10)
+
+
+def rows_for(result, placement):
+    return [r for r in result.rows if r["placement"] == placement]
+
+
+class TestScaling:
+    def test_member_independence(self, scaling):
+        """Co-located members on distinct nodes never interact: the
+        ensemble makespan is N-invariant (the paper's concluding
+        insight that members can be scheduled individually)."""
+        spans = [r["ensemble_makespan"] for r in rows_for(scaling, "co-located")]
+        assert max(spans) - min(spans) < 1e-6 * spans[0]
+
+    def test_spread_also_independent_but_slower(self, scaling):
+        packed = rows_for(scaling, "co-located")
+        spread = rows_for(scaling, "spread")
+        for p, s in zip(packed, spread):
+            assert p["ensemble_makespan"] < s["ensemble_makespan"]
+
+    def test_colocated_dominates_f_at_every_n(self, scaling):
+        packed = {r["members"]: r["objective_F"] for r in rows_for(scaling, "co-located")}
+        spread = {r["members"]: r["objective_F"] for r in rows_for(scaling, "spread")}
+        for n in packed:
+            assert packed[n] > spread[n]
+
+    def test_f_scales_inversely_with_nodes(self, scaling):
+        """Uniform members: F ~ 1/M exactly (mean of identical values,
+        zero std)."""
+        packed = {r["members"]: r["objective_F"] for r in rows_for(scaling, "co-located")}
+        assert packed[2] == pytest.approx(packed[1] / 2, rel=1e-9)
+        assert packed[8] == pytest.approx(packed[1] / 8, rel=1e-9)
+
+    def test_node_counts(self, scaling):
+        for r in scaling.rows:
+            if r["placement"] == "co-located":
+                assert r["nodes"] == r["members"]
+            else:
+                assert r["nodes"] == 2 * r["members"]

@@ -1,0 +1,71 @@
+"""Tests for the stride-sensitivity experiment."""
+
+import pytest
+
+from repro.experiments.stride import (
+    run_stride_sweep,
+    smallest_idle_analyzer_stride,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_stride_sweep()
+
+
+class TestStrideSweep:
+    def test_analysis_time_stride_invariant(self, sweep):
+        """The analysis processes one frame regardless of stride."""
+        values = sweep.column("analysis_active")
+        assert max(values) - min(values) < 1e-9
+
+    def test_simulation_time_linear_in_stride(self, sweep):
+        r100 = sweep.row_for("stride", 100)
+        r800 = sweep.row_for("stride", 800)
+        # S dominates S+W, so near-8x scaling
+        assert r800["simulation_active"] == pytest.approx(
+            8 * r100["simulation_active"], rel=0.01
+        )
+
+    def test_regime_flips_once_with_growing_stride(self, sweep):
+        regimes = sweep.column("regime")
+        flip = regimes.index("idle-analyzer")
+        assert all(r == "idle-simulation" for r in regimes[:flip])
+        assert all(r == "idle-analyzer" for r in regimes[flip:])
+
+    def test_paper_stride_is_smallest_idle_analyzer(self, sweep):
+        """The paper's stride 800 is exactly the crossover choice."""
+        assert smallest_idle_analyzer_stride(sweep) == 800
+
+    def test_efficiency_peaks_at_crossover(self, sweep):
+        effs = {row["stride"]: row["efficiency"] for row in sweep.rows}
+        best = max(effs, key=effs.get)
+        assert best in (600, 800)  # the two strides bracketing balance
+
+    def test_amortized_cost_plateaus_in_idle_analyzer(self, sweep):
+        """Past the crossover, seconds per MD step stops improving —
+        larger strides only trade analysis freshness for nothing."""
+        idle_analyzer = [
+            row["seconds_per_md_step"]
+            for row in sweep.rows
+            if row["regime"] == "idle-analyzer"
+        ]
+        assert max(idle_analyzer) - min(idle_analyzer) < 1e-4
+        idle_sim = [
+            row["seconds_per_md_step"]
+            for row in sweep.rows
+            if row["regime"] == "idle-simulation"
+        ]
+        # in the idle-simulation regime the cost per step is worse
+        assert min(idle_sim) > max(idle_analyzer)
+
+    def test_sigma_is_max_of_sides(self, sweep):
+        for row in sweep.rows:
+            assert row["sigma"] == pytest.approx(
+                max(row["simulation_active"], row["analysis_active"])
+            )
+
+    def test_no_feasible_stride_raises(self):
+        result = run_stride_sweep(strides=(10, 20))
+        with pytest.raises(ValueError):
+            smallest_idle_analyzer_stride(result)

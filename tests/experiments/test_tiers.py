@@ -1,0 +1,55 @@
+"""Tests for the staging-tier matrix experiment."""
+
+import pytest
+
+from repro.experiments.tiers import (
+    best_placement_per_tier,
+    default_tiers,
+    run_tier_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_tier_matrix(trials=2, n_steps=4, timing_noise=0.0)
+
+
+class TestTierMatrix:
+    def test_covers_all_tiers_and_configs(self, matrix):
+        tiers = {row["tier"] for row in matrix.rows}
+        assert tiers == {"in-memory", "burst-buffer", "parallel-fs"}
+        configs = {row["configuration"] for row in matrix.rows}
+        assert configs == {"Cf", "Cc", "C1.2", "C1.4", "C1.5"}
+
+    def test_in_memory_winner_is_colocated(self, matrix):
+        assert best_placement_per_tier(matrix)["in-memory"] in ("Cc", "C1.5")
+
+    def test_external_tiers_flip_winner_to_cf(self, matrix):
+        winners = best_placement_per_tier(matrix)
+        assert winners["burst-buffer"] == "Cf"
+        assert winners["parallel-fs"] == "Cf"
+
+    def test_colocated_nearly_tier_invariant(self, matrix):
+        for config in ("Cc", "C1.5"):
+            spans = [
+                row["ensemble_makespan"]
+                for row in matrix.rows
+                if row["configuration"] == config
+            ]
+            assert max(spans) / min(spans) < 1.01
+
+    def test_contention_dominates_every_tier(self, matrix):
+        for tier in ("in-memory", "burst-buffer", "parallel-fs"):
+            rows = {
+                row["configuration"]: row["ensemble_makespan"]
+                for row in matrix.rows
+                if row["tier"] == tier
+            }
+            assert max(rows, key=rows.get) == "C1.4"
+
+    def test_custom_tier_set(self):
+        tiers = {"in-memory": default_tiers()["in-memory"]}
+        result = run_tier_matrix(
+            trials=1, n_steps=3, config_names=("Cf", "Cc"), tiers=tiers
+        )
+        assert len(result.rows) == 2

@@ -1,0 +1,199 @@
+"""Integration tests asserting the paper's qualitative claims.
+
+Every claim in the paper's evaluation narrative is pinned here, each
+with a reference to the text it reproduces. These run the full pipeline
+(configs -> executor -> traces -> metrics -> indicators -> F) at the
+paper's trial protocol but a reduced step count (steady state is
+reached within a few steps; stage times are step-invariant without
+noise).
+"""
+
+import pytest
+
+from repro.experiments.fig3 import max_miss_ratio, mean_miss_ratio, run_fig3
+from repro.experiments.fig4 import (
+    best_member_makespan,
+    run_fig4,
+    worst_member_makespan,
+)
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig7 import heuristic_choice, run_fig7
+from repro.experiments.fig8 import ranking, run_fig8
+from repro.experiments.fig9 import run_fig9
+
+SETTINGS = dict(trials=3, n_steps=8, timing_noise=0.02)
+TWO_MEMBER = ["C1.1", "C1.2", "C1.3", "C1.4", "C1.5"]
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3(**SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_fig4(**SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(**SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_fig8(**SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_fig9(**SETTINGS)
+
+
+class TestFigure3Claims:
+    def test_colocation_raises_miss_ratio_over_cf(self, fig3):
+        """§2.3: 'Higher LLC miss ratios ... capture the cache misses in
+        Cc, and C1.1 to C1.5 due to resource contention'."""
+        baseline = mean_miss_ratio(fig3, "Cf")
+        for config in ["Cc"] + TWO_MEMBER:
+            assert mean_miss_ratio(fig3, config) > baseline
+
+    def test_analysis_colocation_worse_than_simulation_colocation(self, fig3):
+        """§2.3: 'co-locations of the analyses, i.e. C1.1 and C1.4,
+        result in higher cache misses than the co-location of the
+        simulations, i.e. C1.2'."""
+        assert mean_miss_ratio(fig3, "C1.1") > mean_miss_ratio(fig3, "C1.2")
+        assert mean_miss_ratio(fig3, "C1.4") > mean_miss_ratio(fig3, "C1.2")
+
+    def test_heterogeneous_colocation_has_highest_miss_ratios(self, fig3):
+        """§2.3: 'The co-location of heterogeneous tasks ... lead to
+        higher miss rates in C1.3 and C1.5 compared to C1.1, C1.2, and
+        C1.4'."""
+        het_peak = min(max_miss_ratio(fig3, "C1.3"), max_miss_ratio(fig3, "C1.5"))
+        homo_peak = max(
+            max_miss_ratio(fig3, c) for c in ("C1.1", "C1.2", "C1.4")
+        )
+        assert het_peak > homo_peak
+
+    def test_analyses_are_more_memory_intensive(self, fig3):
+        """§2.3: 'analyses are more memory-intensive than simulations'."""
+        for row in fig3.rows:
+            if ".ana" in row["component"]:
+                sim_row = fig3.row_for(
+                    "component", row["component"].split(".")[0] + ".sim"
+                )
+                assert row["memory_intensity"] > sim_row["memory_intensity"]
+
+
+class TestFigure4And5Claims:
+    def test_c15_shortest_member_makespan(self, fig4):
+        """§2.3: 'C1.5 yields the shortest member makespan among all
+        configurations'."""
+        c15 = worst_member_makespan(fig4, "C1.5")
+        for other in ("C1.1", "C1.2", "C1.4"):
+            assert c15 < best_member_makespan(fig4, other)
+        # C1.3's co-located member matches C1.5; its split member is slower
+        assert c15 <= worst_member_makespan(fig4, "C1.3") * 1.001
+
+    def test_c15_shortest_ensemble_makespan(self, fig5):
+        """Figure 5: C1.5 wins at the ensemble level too."""
+        spans = {
+            row["configuration"]: row["ensemble_makespan"]
+            for row in fig5.rows
+        }
+        for other in TWO_MEMBER[:-1]:
+            assert spans["C1.5"] < spans[other]
+
+    def test_analysis_contention_hurts_makespan_most(self, fig4):
+        """§2.3: contention from co-located analyses inflates member
+        makespan (C1.1/C1.4 are the stragglers)."""
+        for bad in ("C1.1", "C1.4"):
+            assert best_member_makespan(fig4, bad) > 1.1 * worst_member_makespan(
+                fig4, "C1.5"
+            )
+
+
+class TestFigure7Claims:
+    def test_small_core_counts_are_idle_simulation(self):
+        """§3.4: 'The analysis step when using 1 to 4 cores takes longer
+        than the simulation step'."""
+        r = run_fig7()
+        for cores in (1, 2, 4):
+            row = r.row_for("analysis_cores", cores)
+            assert row["analysis_active"] > row["simulation_active"]
+            assert not row["feasible"]
+
+    def test_eq4_satisfied_from_8_cores(self):
+        """§3.4: 'The inequality in Equation (4) is satisfied once the
+        analysis uses between 8 and 32 cores'."""
+        r = run_fig7()
+        for cores in (8, 16, 32):
+            assert r.row_for("analysis_cores", cores)["feasible"]
+
+    def test_heuristic_selects_8_cores(self):
+        """§3.4: 'we decide to assign 8 cores to each analysis, which
+        results in the highest computational efficiency'."""
+        assert heuristic_choice().cores == 8
+
+    def test_sigma_minimized_in_feasible_region(self):
+        r = run_fig7()
+        sigmas = {row["analysis_cores"]: row["sigma"] for row in r.rows}
+        min_sigma = min(sigmas.values())
+        for cores in (8, 16, 32):
+            assert sigmas[cores] == pytest.approx(min_sigma)
+
+
+class TestFigure8Claims:
+    def test_up_cannot_separate_c14_from_c15(self, fig8):
+        """§5.2: 'P^{U,P} is not able to differentiate the performance
+        of C1.4 from C1.5'."""
+        c14 = fig8.row_for("configuration", "C1.4")["U,P"]
+        c15 = fig8.row_for("configuration", "C1.5")["U,P"]
+        assert abs(c14 - c15) / max(c14, c15) < 0.10
+
+    def test_ua_separates_c14_from_c15(self, fig8):
+        """...while P^{U,A} separates them decisively (CP 1/2 vs 1)."""
+        c14 = fig8.row_for("configuration", "C1.4")["U,A"]
+        c15 = fig8.row_for("configuration", "C1.5")["U,A"]
+        assert c15 > 1.5 * c14
+
+    def test_final_stage_ranking(self, fig8):
+        """§5.2: 'the performance of C1.4 is degraded to lower than
+        C1.5, but higher than C1.1, C1.2, C1.3' and 'our performance
+        indicator confirms that C1.5 is the best choice'."""
+        order = ranking(fig8, "U,A,P")
+        assert order[0] == "C1.5"
+        assert order[1] == "C1.4"
+        assert set(order[2:]) == {"C1.1", "C1.2", "C1.3"}
+
+
+class TestFigure9Claims:
+    def test_up_groups_by_node_count(self, fig9):
+        """§5.2: 'P^{U,P} separates the set of configurations in two
+        groups defined by the number of compute nodes' (C2.6-C2.8 use 2,
+        the rest 3)."""
+        two_node = {"C2.6", "C2.7", "C2.8"}
+        values = {
+            row["configuration"]: row["U,P"] for row in fig9.rows
+        }
+        worst_two_node = min(values[c] for c in two_node)
+        best_three_node = max(
+            v for c, v in values.items() if c not in two_node
+        )
+        assert worst_two_node > best_three_node
+
+    def test_c28_wins_final_stage(self, fig9):
+        """§5.2: 'the chosen configuration C2.8 is also the optimal
+        configuration in terms of co-location'."""
+        values = {
+            row["configuration"]: row["U,A,P"] for row in fig9.rows
+        }
+        best = max(values, key=values.get)
+        assert best == "C2.8"
+
+    def test_ua_isolates_c28(self, fig9):
+        """§5.2: 'when adding layer A, we first isolate C2.8 from the
+        other configurations'."""
+        values = {row["configuration"]: row["U,A"] for row in fig9.rows}
+        c28 = values.pop("C2.8")
+        assert c28 > max(values.values())

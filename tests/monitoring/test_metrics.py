@@ -1,0 +1,80 @@
+"""Tests for Table-1 metric computation."""
+
+import pytest
+
+from repro.monitoring.counters import HardwareCounters
+from repro.monitoring.metrics import (
+    ComponentMetrics,
+    component_metrics,
+    ensemble_makespan,
+    member_makespan_from_trace,
+)
+from repro.monitoring.tracer import Stage, StageTracer
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def tracer():
+    t = StageTracer()
+    # simulation from 0 to 21
+    t.record("sim", Stage.SIM_COMPUTE, 0, 0.0, 10.0)
+    t.record("sim", Stage.SIM_WRITE, 0, 10.0, 10.5)
+    t.record("sim", Stage.SIM_COMPUTE, 1, 10.5, 20.5)
+    t.record("sim", Stage.SIM_WRITE, 1, 20.5, 21.0)
+    # two analyses ending at different times
+    t.record("ana1", Stage.ANA_READ, 0, 10.5, 11.0)
+    t.record("ana1", Stage.ANA_COMPUTE, 0, 11.0, 19.0)
+    t.record("ana2", Stage.ANA_READ, 0, 10.5, 11.0)
+    t.record("ana2", Stage.ANA_COMPUTE, 0, 11.0, 23.5)
+    return t
+
+
+@pytest.fixture
+def counters():
+    return HardwareCounters(
+        instructions=1e9, cycles=2e9, llc_references=1e7, llc_misses=2e6
+    )
+
+
+class TestComponentMetrics:
+    def test_from_trace_and_counters(self, tracer, counters):
+        cm = component_metrics("sim", tracer, counters)
+        assert cm.execution_time == pytest.approx(21.0)
+        assert cm.llc_miss_ratio == pytest.approx(0.2)
+        assert cm.memory_intensity == pytest.approx(2e6 / 1e9)
+        assert cm.ipc == pytest.approx(0.5)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValidationError):
+            ComponentMetrics("x", -1.0, 0.1, 0.1, 1.0)
+
+
+class TestMemberMakespan:
+    def test_definition(self, tracer):
+        """Timespan between simulation start and latest analysis end."""
+        mm = member_makespan_from_trace("em1", "sim", ["ana1", "ana2"], tracer)
+        assert mm.makespan == pytest.approx(23.5 - 0.0)
+
+    def test_latest_analysis_wins(self, tracer):
+        only_fast = member_makespan_from_trace("em1", "sim", ["ana1"], tracer)
+        assert only_fast.makespan == pytest.approx(19.0)
+
+    def test_requires_analyses(self, tracer):
+        with pytest.raises(ValidationError):
+            member_makespan_from_trace("em1", "sim", [], tracer)
+
+
+class TestEnsembleMakespan:
+    def test_maximum_member(self, tracer):
+        m1 = member_makespan_from_trace("em1", "sim", ["ana1"], tracer)
+        m2 = member_makespan_from_trace("em2", "sim", ["ana2"], tracer)
+        em = ensemble_makespan({"em1": m1, "em2": m2})
+        assert em.makespan == pytest.approx(23.5)
+        assert em.member_makespans == {
+            "em1": pytest.approx(19.0),
+            "em2": pytest.approx(23.5),
+        }
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ensemble_makespan({})

@@ -1,0 +1,79 @@
+"""Tests for report rendering (Gantt + summary)."""
+
+import pytest
+
+from repro.monitoring.report import STAGE_GLYPHS, gantt, summary_report
+from repro.monitoring.tracer import Stage, StageTracer
+from repro.runtime.placement import pack_members_per_node
+from repro.runtime.runner import run_ensemble
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def result(single_member_spec):
+    return run_ensemble(
+        single_member_spec, pack_members_per_node(single_member_spec)
+    )
+
+
+class TestGantt:
+    def test_renders_all_components(self, result):
+        chart = gantt(result.tracer, width=60)
+        assert "em1.sim" in chart
+        assert "em1.ana1" in chart
+
+    def test_glyphs_present(self, result):
+        chart = gantt(result.tracer, width=60)
+        assert "S" in chart  # compute stage visible
+        assert "A" in chart  # analysis stage visible
+
+    def test_width_respected(self, result):
+        chart = gantt(result.tracer, width=40)
+        label_w = max(len(c) for c in result.tracer.components) + 1
+        for line in chart.splitlines()[1:-1]:
+            assert len(line) <= label_w + 40
+
+    def test_component_subset(self, result):
+        chart = gantt(result.tracer, components=["em1.sim"], width=30)
+        assert "em1.sim" in chart
+        assert "em1.ana1" not in chart
+
+    def test_empty_window_rejected(self):
+        tracer = StageTracer()
+        tracer.record("x", Stage.SIM_COMPUTE, 0, 0.0, 0.0)
+        with pytest.raises(ValidationError):
+            gantt(tracer, width=10)
+
+    def test_simulation_starts_before_analysis(self, result):
+        """The first columns of the sim row are busy while the analysis
+        row is still blank (it waits for the first write)."""
+        chart = gantt(result.tracer, width=60).splitlines()
+        sim_row = next(l for l in chart if l.startswith("em1.sim"))
+        ana_row = next(l for l in chart if l.startswith("em1.ana1"))
+        label_w = len("em1.ana1") + 1
+        assert sim_row[label_w] == "S"
+        assert ana_row[label_w] == " "
+
+    def test_all_stage_glyphs_defined(self):
+        assert set(STAGE_GLYPHS) == set(Stage)
+
+
+class TestSummaryReport:
+    def test_contains_all_sections(self, result):
+        report = summary_report(result)
+        assert "ensemble makespan" in report
+        assert "em1" in report
+        assert "F(P^{U,A,P})" in report
+        assert "LLC miss" in report
+        assert "em1.sim" in report and "em1.ana1" in report
+
+    def test_indicator_matches_result(self, result):
+        from repro.core.indicators import IndicatorStage
+
+        order = (
+            IndicatorStage.USAGE,
+            IndicatorStage.ALLOCATION,
+            IndicatorStage.PROVISIONING,
+        )
+        report = summary_report(result, order)
+        assert f"{result.objective(order):.6f}" in report

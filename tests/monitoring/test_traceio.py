@@ -1,0 +1,145 @@
+"""Tests for trace serialization and the external-trace bridge."""
+
+import json
+
+import pytest
+
+from repro.core.efficiency import computational_efficiency
+from repro.monitoring.tracer import Stage, StageTracer
+from repro.monitoring.traceio import (
+    load_trace,
+    member_stages_from_trace,
+    save_trace,
+    tracer_from_dict,
+    tracer_to_dict,
+)
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def tracer():
+    t = StageTracer()
+    for step in range(5):
+        base = step * 11.0
+        t.record("sim", Stage.SIM_COMPUTE, step, base, base + 10.0)
+        t.record("sim", Stage.SIM_IDLE, step, base + 10.0, base + 10.0)
+        t.record("sim", Stage.SIM_WRITE, step, base + 10.0, base + 11.0)
+        t.record("ana", Stage.ANA_READ, step, base + 11.0, base + 11.5)
+        t.record("ana", Stage.ANA_COMPUTE, step, base + 11.5, base + 19.0)
+        t.record("ana", Stage.ANA_IDLE, step, base + 19.0, base + 22.0)
+    return t
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_records(self, tracer):
+        back = tracer_from_dict(tracer_to_dict(tracer))
+        assert len(back) == len(tracer)
+        for orig, new in zip(tracer.records, back.records):
+            assert orig == new
+
+    def test_version_checked(self, tracer):
+        payload = tracer_to_dict(tracer)
+        payload["version"] = 99
+        with pytest.raises(ValidationError, match="version"):
+            tracer_from_dict(payload)
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ValidationError, match="record #0"):
+            tracer_from_dict(
+                {"version": 1, "records": [{"component": "x"}]}
+            )
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValidationError):
+            tracer_from_dict(
+                {
+                    "version": 1,
+                    "records": [
+                        {
+                            "component": "x",
+                            "stage": "Z",
+                            "step": 0,
+                            "start": 0,
+                            "end": 1,
+                        }
+                    ],
+                }
+            )
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValidationError):
+            tracer_from_dict([1, 2, 3])
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tracer, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(tracer, path)
+        back = load_trace(path)
+        assert len(back) == len(tracer)
+        assert back.durations("sim", Stage.SIM_COMPUTE) == tracer.durations(
+            "sim", Stage.SIM_COMPUTE
+        )
+
+    def test_file_is_plain_json(self, tracer, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(tracer, path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert len(payload["records"]) == 30
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError):
+            load_trace(path)
+
+
+class TestExternalTraceBridge:
+    def test_stages_estimated_from_trace(self, tracer):
+        stages = member_stages_from_trace(tracer, "sim", ["ana"])
+        assert stages.simulation.compute == pytest.approx(10.0)
+        assert stages.simulation.write == pytest.approx(1.0)
+        assert stages.analyses[0].read == pytest.approx(0.5)
+        assert stages.analyses[0].analyze == pytest.approx(7.5)
+
+    def test_feeds_the_indicator_pipeline(self, tracer):
+        stages = member_stages_from_trace(tracer, "sim", ["ana"])
+        e = computational_efficiency(stages)
+        # sim active 11.0, ana active 8.0 -> E = 8/11
+        assert e == pytest.approx(8.0 / 11.0)
+
+    def test_hand_written_external_trace(self):
+        """Simulates loading a trace recorded outside this library."""
+        payload = {
+            "version": 1,
+            "records": [
+                {"component": "gmx", "stage": "S", "step": s,
+                 "start": s * 20.0, "end": s * 20.0 + 14.0}
+                for s in range(4)
+            ]
+            + [
+                {"component": "gmx", "stage": "W", "step": s,
+                 "start": s * 20.0 + 14.0, "end": s * 20.0 + 14.4}
+                for s in range(4)
+            ]
+            + [
+                {"component": "cv", "stage": "R", "step": s,
+                 "start": s * 20.0 + 14.4, "end": s * 20.0 + 14.6}
+                for s in range(4)
+            ]
+            + [
+                {"component": "cv", "stage": "A", "step": s,
+                 "start": s * 20.0 + 14.6, "end": s * 20.0 + 19.0}
+                for s in range(4)
+            ],
+        }
+        tracer = tracer_from_dict(payload)
+        stages = member_stages_from_trace(tracer, "gmx", ["cv"])
+        assert computational_efficiency(stages) == pytest.approx(
+            (0.2 + 4.4) / (14.0 + 0.4)
+        )
+
+    def test_requires_analyses(self, tracer):
+        with pytest.raises(ValidationError):
+            member_stages_from_trace(tracer, "sim", [])

@@ -1,0 +1,68 @@
+"""Tests for the stage tracer."""
+
+import pytest
+
+from repro.monitoring.tracer import Stage, StageRecord, StageTracer
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def tracer():
+    t = StageTracer()
+    t.record("sim", Stage.SIM_COMPUTE, 0, 0.0, 10.0)
+    t.record("sim", Stage.SIM_IDLE, 0, 10.0, 10.0)
+    t.record("sim", Stage.SIM_WRITE, 0, 10.0, 10.5)
+    t.record("sim", Stage.SIM_COMPUTE, 1, 10.5, 20.5)
+    t.record("ana", Stage.ANA_READ, 0, 10.5, 11.0)
+    t.record("ana", Stage.ANA_COMPUTE, 0, 11.0, 19.0)
+    return t
+
+
+class TestStageRecord:
+    def test_duration(self):
+        rec = StageRecord("x", Stage.SIM_COMPUTE, 0, 1.0, 3.5)
+        assert rec.duration == 2.5
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            StageRecord("", Stage.SIM_COMPUTE, 0, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            StageRecord("x", Stage.SIM_COMPUTE, -1, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            StageRecord("x", Stage.SIM_COMPUTE, 0, 2.0, 1.0)
+
+    def test_zero_duration_allowed(self):
+        StageRecord("x", Stage.SIM_IDLE, 0, 1.0, 1.0)
+
+
+class TestQueries:
+    def test_len_and_components(self, tracer):
+        assert len(tracer) == 6
+        assert tracer.components == ["sim", "ana"]
+
+    def test_durations_ordered_by_step(self, tracer):
+        assert tracer.durations("sim", Stage.SIM_COMPUTE) == [10.0, 10.0]
+
+    def test_durations_empty_stage(self, tracer):
+        assert tracer.durations("ana", Stage.ANA_IDLE) == []
+
+    def test_unknown_component_rejected(self, tracer):
+        with pytest.raises(ValidationError):
+            tracer.of_component("ghost")
+
+    def test_stage_end(self, tracer):
+        assert tracer.stage_end("sim", Stage.SIM_WRITE, 0) == 10.5
+        assert tracer.stage_end("sim", Stage.SIM_WRITE, 5) is None
+
+    def test_component_span(self, tracer):
+        assert tracer.component_span("sim") == (0.0, 20.5)
+        assert tracer.component_span("ana") == (10.5, 19.0)
+
+    def test_num_steps(self, tracer):
+        assert tracer.num_steps("sim") == 2
+        assert tracer.num_steps("ana") == 1
+
+    def test_records_returns_copy(self, tracer):
+        records = tracer.records
+        records.clear()
+        assert len(tracer) == 6

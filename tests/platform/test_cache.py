@@ -1,0 +1,33 @@
+"""Tests for CacheSpec."""
+
+import pytest
+
+from repro.platform.cache import CacheSpec
+from repro.util.errors import ValidationError
+from repro.util.units import MIB
+
+
+class TestCacheSpec:
+    def test_defaults_match_cori_haswell_llc(self):
+        spec = CacheSpec()
+        assert spec.size_bytes == 40 * MIB
+        assert spec.line_bytes == 64
+
+    def test_num_lines(self):
+        spec = CacheSpec(size_bytes=1024, line_bytes=64, associativity=4)
+        assert spec.num_lines == 16
+
+    @pytest.mark.parametrize("field", ["size_bytes", "line_bytes", "associativity"])
+    def test_non_positive_fields_rejected(self, field):
+        kwargs = {field: 0}
+        with pytest.raises(ValidationError):
+            CacheSpec(**kwargs)
+
+    def test_line_larger_than_cache_rejected(self):
+        with pytest.raises(ValueError):
+            CacheSpec(size_bytes=32, line_bytes=64)
+
+    def test_frozen(self):
+        spec = CacheSpec()
+        with pytest.raises(AttributeError):
+            spec.size_bytes = 1

@@ -1,0 +1,81 @@
+"""Tests for the Cluster facade."""
+
+import pytest
+
+from repro.components.profiles import analysis_profile, simulation_profile
+from repro.platform.specs import (
+    cori_like_node,
+    make_cori_like_cluster,
+    small_test_cluster,
+)
+from repro.util.errors import PlacementError, ValidationError
+from repro.util.units import GIB, MIB
+
+SIM = simulation_profile("sim")
+ANA = analysis_profile("ana")
+
+
+class TestClusterBasics:
+    def test_node_lookup(self, cori2):
+        assert cori2.node(0).index == 0
+        assert cori2.node(1).index == 1
+
+    def test_node_out_of_range_rejected(self, cori2):
+        with pytest.raises(PlacementError):
+            cori2.node(2)
+        with pytest.raises(PlacementError):
+            cori2.node(-1)
+
+    def test_nodes_hosting(self, cori2):
+        cori2.node(0).allocate("sim", 16, SIM)
+        assert [n.index for n in cori2.nodes_hosting("sim")] == [0]
+        assert cori2.nodes_hosting("ghost") == []
+
+    def test_reset_clears_allocations(self, cori2):
+        cori2.node(0).allocate("sim", 16, SIM)
+        cori2.reset()
+        assert cori2.node(0).residents == []
+
+    def test_assess_all_covers_every_resident(self, cori2):
+        cori2.node(0).allocate("sim", 16, SIM)
+        cori2.node(1).allocate("ana", 8, ANA)
+        out = cori2.assess_all()
+        assert set(out) == {"sim", "ana"}
+
+    def test_transfer_time_validates_nodes(self, cori2):
+        with pytest.raises(PlacementError):
+            cori2.transfer_time(0, 5, 100)
+
+    def test_memory_copy_time(self, cori2):
+        t = cori2.memory_copy_time(120e9)  # one second worth of bytes
+        assert t == pytest.approx(1.0)
+        with pytest.raises(ValidationError):
+            cori2.memory_copy_time(-1)
+
+    def test_local_copy_beats_network(self, cori2):
+        nbytes = 3 * MIB
+        assert cori2.memory_copy_time(nbytes) < cori2.transfer_time(0, 1, nbytes)
+
+
+class TestSpecs:
+    def test_cori_node_matches_paper_platform(self):
+        spec = cori_like_node()
+        # Cori Haswell: 2x16 cores, 128 GB DRAM, 40 MB LLC/socket
+        assert spec.cores == 32
+        assert spec.sockets == 2
+        assert spec.memory_bytes == 128 * GIB
+        assert spec.llc.size_bytes == 40 * MIB
+
+    def test_make_cori_like_cluster(self):
+        cl = make_cori_like_cluster(3)
+        assert cl.num_nodes == 3
+        assert cl.contention.enabled
+
+    def test_contention_can_be_disabled(self):
+        cl = make_cori_like_cluster(2, contention_enabled=False)
+        assert not cl.contention.enabled
+
+    def test_small_test_cluster(self):
+        cl = small_test_cluster(2)
+        assert cl.num_nodes == 2
+        assert cl.node_spec.cores == 8

@@ -1,0 +1,91 @@
+"""Tests for the dragonfly network model."""
+
+import pytest
+
+from repro.platform.network import DragonflyNetwork, NetworkSpec
+from repro.util.errors import ValidationError
+from repro.util.units import MIB
+
+
+@pytest.fixture
+def net():
+    # 4 nodes/router, 2 routers/group -> 8 nodes/group
+    return DragonflyNetwork(
+        NetworkSpec(
+            nodes_per_router=4,
+            routers_per_group=2,
+            link_bandwidth=10e9,
+            base_latency=1e-6,
+            per_hop_latency=0.1e-6,
+        )
+    )
+
+
+class TestTopology:
+    def test_coordinates(self, net):
+        assert net.coordinates(0) == (0, 0)
+        assert net.coordinates(3) == (0, 0)
+        assert net.coordinates(4) == (0, 1)
+        assert net.coordinates(8) == (1, 0)
+
+    def test_negative_node_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.coordinates(-1)
+
+    def test_hops_same_node(self, net):
+        assert net.hops(5, 5) == 0
+
+    def test_hops_same_router(self, net):
+        assert net.hops(0, 3) == 1
+
+    def test_hops_same_group(self, net):
+        assert net.hops(0, 4) == 2
+
+    def test_hops_cross_group(self, net):
+        assert net.hops(0, 8) == 5
+
+    def test_hops_symmetric(self, net):
+        for a, b in [(0, 3), (0, 4), (0, 8), (7, 12)]:
+            assert net.hops(a, b) == net.hops(b, a)
+
+
+class TestTransferTime:
+    def test_same_node_is_free(self, net):
+        assert net.transfer_time(2, 2, 100 * MIB) == 0.0
+
+    def test_latency_grows_with_hops(self, net):
+        near = net.latency(0, 3)
+        mid = net.latency(0, 4)
+        far = net.latency(0, 8)
+        assert near < mid < far
+
+    def test_bandwidth_term(self, net):
+        nbytes = 10 * MIB
+        t = net.transfer_time(0, 3, nbytes)
+        assert t == pytest.approx(net.latency(0, 3) + nbytes / 10e9)
+
+    def test_zero_bytes_is_pure_latency(self, net):
+        assert net.transfer_time(0, 3, 0) == pytest.approx(net.latency(0, 3))
+
+    def test_negative_bytes_rejected(self, net):
+        with pytest.raises(ValidationError):
+            net.transfer_time(0, 1, -1)
+
+    def test_monotone_in_size(self, net):
+        sizes = [0, 1 * MIB, 10 * MIB, 100 * MIB]
+        times = [net.transfer_time(0, 4, s) for s in sizes]
+        assert times == sorted(times)
+
+
+class TestNetworkSpec:
+    def test_nodes_per_group(self):
+        spec = NetworkSpec(nodes_per_router=4, routers_per_group=96)
+        assert spec.nodes_per_group == 384
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            NetworkSpec(nodes_per_router=0)
+        with pytest.raises(ValidationError):
+            NetworkSpec(link_bandwidth=0)
+        with pytest.raises(ValidationError):
+            NetworkSpec(base_latency=-1e-6)

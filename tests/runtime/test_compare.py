@@ -1,0 +1,85 @@
+"""Tests for the placement what-if comparison API."""
+
+import pytest
+
+from repro.configs.table2 import get_config
+from repro.runtime.compare import compare_placements, render_comparison
+from repro.runtime.placement import pack_members_per_node, spread_components
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def candidates(two_member_spec):
+    return {
+        "C1.4": get_config("C1.4").placement(),
+        "C1.5": get_config("C1.5").placement(),
+        "spread": spread_components(two_member_spec),
+    }
+
+
+class TestComparePlacements:
+    def test_ranked_best_first(self, two_member_spec, candidates):
+        results = compare_placements(two_member_spec, candidates)
+        objectives = [c.objective for c in results]
+        assert objectives == sorted(objectives, reverse=True)
+        assert results[0].name == "C1.5"
+
+    def test_fields_populated(self, two_member_spec, candidates):
+        results = compare_placements(two_member_spec, candidates)
+        for c in results:
+            assert c.ensemble_makespan > 0
+            assert set(c.member_efficiencies) == {"em1", "em2"}
+            assert set(c.objective_paths) == {
+                "U", "U,P", "U,A", "U,P,A", "U,A,P",
+            }
+            assert c.objective == pytest.approx(c.objective_paths["U,A,P"])
+
+    def test_consistent_with_figure8(self, two_member_spec, candidates):
+        """C1.5 beats C1.4 at U,A but not at U,P — the Figure 8 story
+        through this API."""
+        results = {
+            c.name: c
+            for c in compare_placements(two_member_spec, candidates)
+        }
+        c14, c15 = results["C1.4"], results["C1.5"]
+        assert c15.objective_paths["U,A"] > 1.5 * c14.objective_paths["U,A"]
+        ratio = c14.objective_paths["U,P"] / c15.objective_paths["U,P"]
+        assert 0.9 < ratio < 1.1
+
+    def test_empty_rejected(self, two_member_spec):
+        with pytest.raises(ValidationError):
+            compare_placements(two_member_spec, {})
+
+    def test_render(self, two_member_spec, candidates):
+        results = compare_placements(two_member_spec, candidates)
+        text = render_comparison(results)
+        for name in candidates:
+            assert name in text
+        assert "F(U,A,P)" in text
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            render_comparison([])
+
+
+class TestExperimentResultPersistence:
+    def test_json_round_trip(self, tmp_path):
+        from repro.experiments.fig7 import run_fig7
+        from repro.experiments.base import ExperimentResult
+
+        original = run_fig7()
+        path = tmp_path / "fig7.json"
+        original.save(path)
+        loaded = ExperimentResult.load(path)
+        assert loaded.experiment_id == original.experiment_id
+        assert loaded.columns == original.columns
+        assert loaded.rows == original.rows
+        assert loaded.to_text() == original.to_text()
+
+    def test_malformed_json_rejected(self):
+        from repro.experiments.base import ExperimentResult
+
+        with pytest.raises(ValidationError):
+            ExperimentResult.from_json("{not json")
+        with pytest.raises(ValidationError):
+            ExperimentResult.from_json('{"title": "x"}')

@@ -1,0 +1,146 @@
+"""Tests for the congestion-aware (NIC-serialized) executor mode."""
+
+import pytest
+
+from repro.components.analysis import EigenAnalysisModel
+from repro.components.simulation import MDSimulationModel
+from repro.monitoring.tracer import Stage
+from repro.runtime.executor import EnsembleExecutor
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec, MemberSpec
+
+
+def heavy_payload_spec(n_steps=3):
+    """A member whose frames are huge: transport time ~seconds, so NIC
+    serialization is visible against the compute stages."""
+    sim = MDSimulationModel(
+        "h.sim",
+        cores=16,
+        natoms=2_000_000,  # ~24 MB frames
+        stride=100,
+        seconds_per_atom_step=2e-8,  # fast compute: S ~ 0.5 s
+    )
+    analyses = (
+        EigenAnalysisModel(
+            "h.ana1", cores=8, natoms=2_000_000, single_core_time=2.0
+        ),
+        EigenAnalysisModel(
+            "h.ana2", cores=8, natoms=2_000_000, single_core_time=2.0
+        ),
+    )
+    return EnsembleSpec(
+        "heavy", (MemberSpec("h", sim, analyses, n_steps=n_steps),)
+    )
+
+
+@pytest.fixture
+def remote_placement():
+    # both analyses remote, on the same consumer node, reading from n0
+    return EnsemblePlacement(2, (MemberPlacement(0, (1, 1)),))
+
+
+class TestCongestionMode:
+    def test_serialization_staggers_reads(self, remote_placement):
+        spec = heavy_payload_spec()
+        result = EnsembleExecutor(
+            spec, remote_placement, congestion_aware=True
+        ).run()
+        tracer = result.tracer
+        # the two analyses read the same step concurrently; with the
+        # NIC serialized, their transport phases cannot overlap: the
+        # second read's end is at least one transport later
+        r1 = [
+            r for r in tracer.of_component("h.ana1")
+            if r.stage == Stage.ANA_READ and r.step == 0
+        ][0]
+        r2 = [
+            r for r in tracer.of_component("h.ana2")
+            if r.stage == Stage.ANA_READ and r.step == 0
+        ][0]
+        first, second = sorted([r1, r2], key=lambda r: r.end)
+        # both start together after W, but the loser waits for the NIC
+        assert second.duration > 1.4 * first.duration
+
+    def test_stagger_persists_down_the_pipeline(self, remote_placement):
+        """After the step-0 NIC queueing, the two analyses stay offset
+        by one transport time: their later reads arrive pre-staggered
+        and need no further queueing — the steady state of a serialized
+        link."""
+        spec = heavy_payload_spec()
+        congested = EnsembleExecutor(
+            spec, remote_placement, congestion_aware=True
+        ).run()
+        tracer = congested.tracer
+        transport = 0.0024  # 24 MB at 10 GB/s
+        for step in range(1, 3):
+            starts = {}
+            for a in ("h.ana1", "h.ana2"):
+                rec = [
+                    r
+                    for r in tracer.of_component(a)
+                    if r.stage == Stage.ANA_READ and r.step == step
+                ][0]
+                starts[a] = rec.start
+            offset = abs(starts["h.ana1"] - starts["h.ana2"])
+            assert offset == pytest.approx(transport, rel=0.1)
+
+    def test_total_read_time_strictly_extended(self, remote_placement):
+        spec = heavy_payload_spec()
+        plain = EnsembleExecutor(spec, remote_placement).run()
+        congested = EnsembleExecutor(
+            spec, remote_placement, congestion_aware=True
+        ).run()
+        plain_r = sum(
+            sum(plain.tracer.durations(a, Stage.ANA_READ))
+            for a in ("h.ana1", "h.ana2")
+        )
+        congested_r = sum(
+            sum(congested.tracer.durations(a, Stage.ANA_READ))
+            for a in ("h.ana1", "h.ana2")
+        )
+        assert congested_r > plain_r + 0.002  # one queued transport
+
+    def test_local_reads_unaffected(self):
+        spec = heavy_payload_spec()
+        colocated = EnsemblePlacement(1, (MemberPlacement(0, (0, 0)),))
+        plain = EnsembleExecutor(spec, colocated).run()
+        congested = EnsembleExecutor(
+            spec, colocated, congestion_aware=True
+        ).run()
+        assert congested.ensemble_makespan == pytest.approx(
+            plain.ensemble_makespan
+        )
+
+    def test_negligible_at_paper_scale(self, two_member_spec):
+        """At the paper's 3 MB frames, congestion changes nothing
+        measurable — which is why the default leaves it off."""
+        from repro.configs.table2 import get_config
+
+        config = get_config("C1.2")  # two sims on n0, remote analyses
+        from repro.configs.base import build_spec
+
+        spec = build_spec(config, n_steps=4)
+        plain = EnsembleExecutor(spec, config.placement()).run()
+        congested = EnsembleExecutor(
+            spec, config.placement(), congestion_aware=True
+        ).run()
+        assert congested.ensemble_makespan == pytest.approx(
+            plain.ensemble_makespan, rel=1e-3
+        )
+
+    def test_protocol_still_correct(self, remote_placement):
+        """Serialization must not break the W/R ordering."""
+        spec = heavy_payload_spec()
+        result = EnsembleExecutor(
+            spec, remote_placement, congestion_aware=True
+        ).run()
+        tracer = result.tracer
+        for step in range(3):
+            w_end = tracer.stage_end("h.sim", Stage.SIM_WRITE, step)
+            for ana in ("h.ana1", "h.ana2"):
+                reads = [
+                    r
+                    for r in tracer.of_component(ana)
+                    if r.stage == Stage.ANA_READ and r.step == step
+                ]
+                assert reads[0].start >= w_end - 1e-9

@@ -1,0 +1,73 @@
+"""Cross-validation: the analytic predictor vs the DES executor.
+
+The two share the effective stage-time model; the executor adds the
+protocol dynamics. In steady state (no noise) the executor's estimated
+stage times must match the analytic prediction almost exactly, and the
+measured makespan must match Eq. 2.
+"""
+
+import pytest
+
+from repro.configs.table2 import table2
+from repro.configs.table4 import table4
+from repro.configs.base import build_spec
+from repro.core.insitu import member_makespan, non_overlapped_segment
+from repro.runtime.analytic import predict_member_stages
+from repro.runtime.runner import run_ensemble
+
+
+@pytest.mark.parametrize("config", table2(), ids=lambda c: c.name)
+def test_table2_configs_match(config):
+    spec = build_spec(config, n_steps=6)
+    placement = config.placement()
+    predicted = predict_member_stages(spec, placement)
+    result = run_ensemble(spec, placement)
+
+    for member in result.members:
+        pred = predicted[member.name]
+        meas = member.stages
+        assert meas.simulation.compute == pytest.approx(
+            pred.simulation.compute, rel=1e-6
+        )
+        assert meas.simulation.write == pytest.approx(
+            pred.simulation.write, rel=1e-6
+        )
+        for mi, pi in zip(meas.analyses, pred.analyses):
+            assert mi.read == pytest.approx(pi.read, rel=1e-6)
+            assert mi.analyze == pytest.approx(pi.analyze, rel=1e-6)
+        # Eq. 2 holds for the measured makespan up to pipeline fill
+        sigma = non_overlapped_segment(pred)
+        expected = member_makespan(pred, 6)
+        assert abs(member.makespan - expected) < sigma
+
+
+@pytest.mark.parametrize("config", table4(), ids=lambda c: c.name)
+def test_table4_configs_match(config):
+    spec = build_spec(config, n_steps=5)
+    placement = config.placement()
+    predicted = predict_member_stages(spec, placement)
+    result = run_ensemble(spec, placement)
+    for member in result.members:
+        pred = predicted[member.name]
+        assert member.stages.simulation.compute == pytest.approx(
+            pred.simulation.compute, rel=1e-6
+        )
+        for mi, pi in zip(member.stages.analyses, pred.analyses):
+            assert mi.analyze == pytest.approx(pi.analyze, rel=1e-6)
+
+
+def test_noisy_executor_converges_to_prediction(two_member_spec):
+    """With noise, steady-state estimates approach the analytic values
+    as jitter averages out across steps."""
+    from repro.runtime.placement import pack_members_per_node
+
+    placement = pack_members_per_node(two_member_spec)
+    predicted = predict_member_stages(two_member_spec, placement)
+    result = run_ensemble(
+        two_member_spec, placement, seed=3, timing_noise=0.03
+    )
+    for member in result.members:
+        pred = predicted[member.name]
+        assert member.stages.simulation.compute == pytest.approx(
+            pred.simulation.compute, rel=0.05
+        )

@@ -1,0 +1,101 @@
+"""Tests for ensemble placements."""
+
+import pytest
+
+from repro.runtime.placement import (
+    EnsemblePlacement,
+    MemberPlacement,
+    pack_members_per_node,
+    spread_components,
+)
+from repro.runtime.spec import EnsembleSpec, default_member
+from repro.util.errors import PlacementError, ValidationError
+
+
+class TestMemberPlacement:
+    def test_used_nodes(self):
+        mp = MemberPlacement(0, (1, 0, 2))
+        assert mp.used_nodes == frozenset({0, 1, 2})
+        assert mp.num_couplings == 3
+
+    def test_to_placement_sets(self):
+        ps = MemberPlacement(0, (2,)).to_placement_sets()
+        assert ps.simulation_nodes == frozenset({0})
+        assert ps.analysis_nodes == (frozenset({2}),)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            MemberPlacement(-1, (0,))
+        with pytest.raises(ValidationError):
+            MemberPlacement(0, ())
+        with pytest.raises(ValidationError):
+            MemberPlacement(0, (-2,))
+
+
+class TestEnsemblePlacement:
+    def test_node_indexes_must_fit_allocation(self):
+        with pytest.raises(PlacementError):
+            EnsemblePlacement(2, (MemberPlacement(0, (2,)),))
+
+    def test_used_nodes_across_members(self):
+        pl = EnsemblePlacement(
+            3, (MemberPlacement(0, (2,)), MemberPlacement(1, (2,)))
+        )
+        assert pl.used_nodes == frozenset({0, 1, 2})
+
+    def test_validate_against_spec(self, two_member_spec):
+        pl = EnsemblePlacement(
+            2, (MemberPlacement(0, (0,)), MemberPlacement(1, (1,)))
+        )
+        demand = pl.validate_against(two_member_spec, cores_per_node=32)
+        assert demand == {0: 24, 1: 24}
+
+    def test_member_count_mismatch(self, two_member_spec):
+        pl = EnsemblePlacement(1, (MemberPlacement(0, (0,)),))
+        with pytest.raises(PlacementError):
+            pl.validate_against(two_member_spec, cores_per_node=32)
+
+    def test_coupling_count_mismatch(self, two_member_spec):
+        pl = EnsemblePlacement(
+            2,
+            (MemberPlacement(0, (0, 1)), MemberPlacement(1, (1,))),
+        )
+        with pytest.raises(PlacementError):
+            pl.validate_against(two_member_spec, cores_per_node=32)
+
+    def test_oversubscription_detected(self, two_member_spec):
+        # both members (24 cores each) on one node of 32
+        pl = EnsemblePlacement(
+            2, (MemberPlacement(0, (0,)), MemberPlacement(0, (0,)))
+        )
+        with pytest.raises(PlacementError, match="oversubscribed"):
+            pl.validate_against(two_member_spec, cores_per_node=32)
+
+
+class TestBuilders:
+    def test_pack_members_per_node_is_c15_pattern(self, two_member_spec):
+        pl = pack_members_per_node(two_member_spec)
+        assert pl.num_nodes == 2
+        for i, mp in enumerate(pl.members):
+            assert mp.simulation_node == i
+            assert all(n == i for n in mp.analysis_nodes)
+
+    def test_spread_components_uses_one_node_each(self, two_member_spec):
+        pl = spread_components(two_member_spec)
+        assert pl.num_nodes == 4  # 2 members x (1 sim + 1 ana)
+        seen = set()
+        for mp in pl.members:
+            for node in (mp.simulation_node,) + mp.analysis_nodes:
+                assert node not in seen
+                seen.add(node)
+
+    def test_builders_respect_k(self):
+        spec = EnsembleSpec(
+            "e",
+            (default_member("em1", num_analyses=2),
+             default_member("em2", num_analyses=2)),
+        )
+        packed = pack_members_per_node(spec)
+        assert packed.members[0].num_couplings == 2
+        spread = spread_components(spec)
+        assert spread.num_nodes == 6

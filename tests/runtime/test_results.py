@@ -1,0 +1,71 @@
+"""Tests for result assembly and the indicator bridge."""
+
+import pytest
+
+from repro.core.indicators import IndicatorStage
+from repro.core.objective import objective_function
+from repro.runtime.runner import run_ensemble
+
+U = IndicatorStage.USAGE
+A = IndicatorStage.ALLOCATION
+P = IndicatorStage.PROVISIONING
+
+
+@pytest.fixture
+def result(two_member_spec, colocated_placement):
+    return run_ensemble(two_member_spec, colocated_placement)
+
+
+class TestExecutionResult:
+    def test_component_metrics_for_every_component(
+        self, result, two_member_spec
+    ):
+        names = {
+            n for m in two_member_spec.members for n in m.component_names
+        }
+        assert set(result.component_metrics) == names
+        assert set(result.counters) == names
+
+    def test_metrics_consistent_with_counters(self, result):
+        for name, cm in result.component_metrics.items():
+            counters = result.counters[name]
+            assert cm.llc_miss_ratio == pytest.approx(counters.llc_miss_ratio)
+            assert cm.ipc == pytest.approx(counters.ipc)
+            assert cm.memory_intensity == pytest.approx(
+                counters.memory_intensity
+            )
+
+    def test_total_nodes_is_allocation_size(self, result):
+        assert result.total_nodes == 2
+
+    def test_member_makespans_accessor(self, result):
+        assert set(result.member_makespans) == {"em1", "em2"}
+        assert result.ensemble_makespan == max(
+            result.member_makespans.values()
+        )
+
+    def test_indicator_values_per_member(self, result):
+        values = result.indicator_values([U, A, P])
+        assert set(values) == {"em1", "em2"}
+        for v in values.values():
+            assert v > 0
+
+    def test_objective_matches_manual_computation(self, result):
+        values = list(result.indicator_values([U]).values())
+        assert result.objective([U]) == pytest.approx(
+            objective_function(values)
+        )
+
+    def test_measurement_placements_preserved(self, result):
+        for i, member in enumerate(result.members):
+            ps = member.measurement.placement
+            assert ps.simulation_nodes == frozenset({i})
+            assert ps.analysis_nodes == (frozenset({i}),)
+
+    def test_efficiency_matches_stage_math(self, result):
+        from repro.core.efficiency import computational_efficiency
+
+        for m in result.members:
+            assert m.efficiency == pytest.approx(
+                computational_efficiency(m.stages)
+            )

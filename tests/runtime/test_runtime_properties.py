@@ -1,0 +1,98 @@
+"""Property-based cross-validation of the executor against Eqs. 1-2.
+
+For randomly parameterized members and arbitrary (feasible) placements,
+the noise-free discrete-event execution must agree with the closed-form
+steady state: traced stage times equal the analytic prediction, and the
+measured makespan is ``n_steps * sigma*`` plus a sub-``sigma*`` drain.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.components.analysis import EigenAnalysisModel
+from repro.components.simulation import MDSimulationModel
+from repro.core.insitu import non_overlapped_segment
+from repro.runtime.analytic import predict_member_stages
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.runner import run_ensemble
+from repro.runtime.spec import EnsembleSpec, MemberSpec
+
+
+@st.composite
+def member_specs(draw):
+    sim = MDSimulationModel(
+        "p.sim",
+        cores=draw(st.sampled_from([8, 16])),
+        natoms=draw(st.integers(min_value=50_000, max_value=500_000)),
+        stride=draw(st.integers(min_value=100, max_value=1600)),
+        seconds_per_atom_step=draw(
+            st.floats(min_value=1e-7, max_value=2e-6)
+        ),
+        serial_fraction=draw(st.floats(min_value=0.0, max_value=0.3)),
+    )
+    ana = EigenAnalysisModel(
+        "p.ana",
+        cores=draw(st.sampled_from([4, 8, 16])),
+        single_core_time=draw(st.floats(min_value=5.0, max_value=200.0)),
+        serial_fraction=draw(st.floats(min_value=0.0, max_value=0.3)),
+    )
+    n_steps = draw(st.integers(min_value=2, max_value=6))
+    return EnsembleSpec("prop", (MemberSpec("p", sim, (ana,), n_steps=n_steps),))
+
+
+@st.composite
+def placements(draw):
+    sim_node = draw(st.integers(min_value=0, max_value=1))
+    ana_node = draw(st.integers(min_value=0, max_value=1))
+    return EnsemblePlacement(2, (MemberPlacement(sim_node, (ana_node,)),))
+
+
+common = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestExecutorMatchesModel:
+    @given(member_specs(), placements())
+    @common
+    def test_traced_stages_equal_prediction(self, spec, placement):
+        predicted = predict_member_stages(spec, placement)["p"]
+        result = run_ensemble(spec, placement)
+        measured = result.members[0].stages
+        assert measured.simulation.compute == pytest.approx(
+            predicted.simulation.compute, rel=1e-9
+        )
+        assert measured.simulation.write == pytest.approx(
+            predicted.simulation.write, rel=1e-9
+        )
+        assert measured.analyses[0].read == pytest.approx(
+            predicted.analyses[0].read, rel=1e-9
+        )
+        assert measured.analyses[0].analyze == pytest.approx(
+            predicted.analyses[0].analyze, rel=1e-9
+        )
+
+    @given(member_specs(), placements())
+    @common
+    def test_makespan_is_eq2_plus_drain(self, spec, placement):
+        predicted = predict_member_stages(spec, placement)["p"]
+        sigma = non_overlapped_segment(predicted)
+        n = spec.members[0].n_steps
+        result = run_ensemble(spec, placement)
+        makespan = result.members[0].makespan
+        assert n * sigma - 1e-9 <= makespan <= (n + 1) * sigma + 1e-9
+
+    @given(member_specs())
+    @common
+    def test_colocated_never_slower_on_read(self, spec):
+        """DIMES locality property: the co-located read never costs
+        more than the remote read for the same member."""
+        local = predict_member_stages(
+            spec, EnsemblePlacement(2, (MemberPlacement(0, (0,)),))
+        )["p"]
+        remote = predict_member_stages(
+            spec, EnsemblePlacement(2, (MemberPlacement(0, (1,)),))
+        )["p"]
+        assert local.analyses[0].read <= remote.analyses[0].read + 1e-12

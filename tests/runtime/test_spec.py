@@ -1,0 +1,84 @@
+"""Tests for ensemble/member specifications."""
+
+import pytest
+
+from repro.components.analysis import EigenAnalysisModel
+from repro.components.simulation import MDSimulationModel
+from repro.runtime.spec import EnsembleSpec, MemberSpec, default_member
+from repro.util.errors import ConfigurationError, ValidationError
+
+
+class TestMemberSpec:
+    def test_total_cores(self):
+        m = default_member("em1", num_analyses=2)
+        assert m.total_cores == 16 + 8 + 8
+
+    def test_component_names(self):
+        m = default_member("em1", num_analyses=2)
+        assert m.component_names == ("em1.sim", "em1.ana1", "em1.ana2")
+
+    def test_simulation_slot_type_checked(self):
+        ana = EigenAnalysisModel("a")
+        with pytest.raises(ConfigurationError):
+            MemberSpec("m", ana, (EigenAnalysisModel("b"),))
+
+    def test_analysis_slot_type_checked(self):
+        sim = MDSimulationModel("s")
+        with pytest.raises(ConfigurationError):
+            MemberSpec("m", sim, (MDSimulationModel("s2"),))
+
+    def test_at_least_one_analysis(self):
+        with pytest.raises(ConfigurationError):
+            MemberSpec("m", MDSimulationModel("s"), ())
+
+    def test_duplicate_component_names_rejected(self):
+        sim = MDSimulationModel("x")
+        with pytest.raises(ConfigurationError):
+            MemberSpec("m", sim, (EigenAnalysisModel("x"),))
+
+    def test_n_steps_validated(self):
+        with pytest.raises(ValidationError):
+            default_member("m", n_steps=0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            MemberSpec("", MDSimulationModel("s"), (EigenAnalysisModel("a"),))
+
+
+class TestEnsembleSpec:
+    def test_member_count(self, two_member_spec):
+        assert two_member_spec.num_members == 2
+
+    def test_duplicate_member_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnsembleSpec(
+                "e", (default_member("em1"), default_member("em1"))
+            )
+
+    def test_component_names_unique_across_members(self):
+        m1 = MemberSpec(
+            "a", MDSimulationModel("shared"), (EigenAnalysisModel("a1"),)
+        )
+        m2 = MemberSpec(
+            "b", MDSimulationModel("shared"), (EigenAnalysisModel("b1"),)
+        )
+        with pytest.raises(ConfigurationError):
+            EnsembleSpec("e", (m1, m2))
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnsembleSpec("e", ())
+
+
+class TestDefaultMember:
+    def test_paper_defaults(self):
+        m = default_member("em1")
+        assert m.simulation.cores == 16
+        assert m.simulation.stride == 800
+        assert m.analyses[0].cores == 8
+        assert m.n_steps == 37
+        assert m.num_couplings == 1
+
+    def test_custom_analysis_count(self):
+        m = default_member("em1", num_analyses=3)
+        assert m.num_couplings == 3

@@ -1,0 +1,68 @@
+"""Tests for placement scoring."""
+
+import pytest
+
+from repro.runtime.placement import (
+    EnsemblePlacement,
+    MemberPlacement,
+    pack_members_per_node,
+    spread_components,
+)
+from repro.scheduler.objectives import PlacementScore, score_placement
+
+
+class TestScorePlacement:
+    def test_score_fields(self, two_member_spec, colocated_placement):
+        score = score_placement(two_member_spec, colocated_placement)
+        assert score.num_nodes == 2
+        assert score.ensemble_makespan > 0
+        assert len(score.member_indicators) == 2
+        assert all(v > 0 for v in score.member_indicators)
+
+    def test_colocated_beats_spread(self, two_member_spec):
+        packed = score_placement(
+            two_member_spec, pack_members_per_node(two_member_spec)
+        )
+        spread = score_placement(
+            two_member_spec, spread_components(two_member_spec)
+        )
+        assert packed.objective > spread.objective
+        assert packed > spread
+
+    def test_c15_beats_c14(self, two_member_spec):
+        c15 = score_placement(
+            two_member_spec,
+            EnsemblePlacement(
+                2, (MemberPlacement(0, (0,)), MemberPlacement(1, (1,)))
+            ),
+        )
+        c14 = score_placement(
+            two_member_spec,
+            EnsemblePlacement(
+                2, (MemberPlacement(0, (1,)), MemberPlacement(0, (1,)))
+            ),
+        )
+        assert c15 > c14
+        assert c15.ensemble_makespan < c14.ensemble_makespan
+
+
+class TestScoreOrdering:
+    def _score(self, objective, nodes, makespan):
+        return PlacementScore(
+            placement=EnsemblePlacement(
+                nodes, (MemberPlacement(0, (0,)),)
+            ),
+            objective=objective,
+            ensemble_makespan=makespan,
+            num_nodes=nodes,
+            member_indicators=(objective,),
+        )
+
+    def test_higher_objective_wins(self):
+        assert self._score(0.2, 2, 100) > self._score(0.1, 1, 50)
+
+    def test_fewer_nodes_break_ties(self):
+        assert self._score(0.2, 1, 100) > self._score(0.2, 2, 100)
+
+    def test_lower_makespan_breaks_remaining_ties(self):
+        assert self._score(0.2, 2, 50) > self._score(0.2, 2, 100)

@@ -1,0 +1,133 @@
+"""Tests for the scheduling policies."""
+
+import pytest
+
+from repro.runtime.spec import EnsembleSpec, default_member
+from repro.scheduler.objectives import score_placement
+from repro.scheduler.policies import (
+    ExhaustiveSearchPolicy,
+    GreedyIndicatorPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+)
+from repro.util.errors import PlacementError
+
+
+@pytest.fixture
+def k1_spec(two_member_spec):
+    return two_member_spec
+
+
+@pytest.fixture
+def k2_spec():
+    return EnsembleSpec(
+        "k2",
+        (
+            default_member("em1", num_analyses=2, n_steps=5),
+            default_member("em2", num_analyses=2, n_steps=5),
+        ),
+    )
+
+
+def _feasible(spec, placement, cores_per_node=32):
+    demand = placement.validate_against(spec, cores_per_node)
+    return max(demand.values()) <= cores_per_node
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            GreedyIndicatorPolicy,
+            ExhaustiveSearchPolicy,
+            RoundRobinPolicy,
+            lambda: RandomPolicy(seed=0),
+        ],
+    )
+    def test_placements_always_feasible(self, k2_spec, policy_factory):
+        for nodes in (2, 3, 4):
+            placement = policy_factory().place(k2_spec, nodes, 32)
+            assert _feasible(k2_spec, placement)
+
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            GreedyIndicatorPolicy,
+            ExhaustiveSearchPolicy,
+            RoundRobinPolicy,
+            lambda: RandomPolicy(seed=0),
+        ],
+    )
+    def test_impossible_budget_rejected(self, k2_spec, policy_factory):
+        with pytest.raises(PlacementError):
+            policy_factory().place(k2_spec, 1, 32)  # 96 cores demanded
+
+
+class TestOptimality:
+    def test_exhaustive_finds_colocated_optimum(self, k1_spec):
+        placement = ExhaustiveSearchPolicy().place(k1_spec, 2, 32)
+        # the optimum is the C1.5 pattern: each member co-located
+        for mp in placement.members:
+            assert all(n == mp.simulation_node for n in mp.analysis_nodes)
+
+    def test_greedy_matches_exhaustive_k1(self, k1_spec):
+        greedy = GreedyIndicatorPolicy()
+        exhaustive = ExhaustiveSearchPolicy()
+        for nodes in (2, 3):
+            g = score_placement(k1_spec, greedy.place(k1_spec, nodes, 32))
+            e = score_placement(
+                k1_spec, exhaustive.place(k1_spec, nodes, 32)
+            )
+            assert g.objective == pytest.approx(e.objective, rel=1e-9)
+
+    def test_greedy_matches_exhaustive_k2(self, k2_spec):
+        g = score_placement(
+            k2_spec, GreedyIndicatorPolicy().place(k2_spec, 3, 32)
+        )
+        e = score_placement(
+            k2_spec, ExhaustiveSearchPolicy().place(k2_spec, 3, 32)
+        )
+        assert g.objective == pytest.approx(e.objective, rel=1e-9)
+
+    def test_greedy_evaluates_far_fewer_candidates(self, k2_spec):
+        greedy = GreedyIndicatorPolicy()
+        exhaustive = ExhaustiveSearchPolicy()
+        greedy.place(k2_spec, 3, 32)
+        exhaustive.place(k2_spec, 3, 32)
+        assert greedy.evaluated < exhaustive.evaluated / 3
+
+    def test_greedy_beats_baselines(self, k2_spec):
+        g = score_placement(
+            k2_spec, GreedyIndicatorPolicy().place(k2_spec, 3, 32)
+        )
+        rr = score_placement(
+            k2_spec, RoundRobinPolicy().place(k2_spec, 3, 32)
+        )
+        rnd = score_placement(
+            k2_spec, RandomPolicy(seed=7).place(k2_spec, 3, 32)
+        )
+        assert g.objective > rr.objective
+        assert g.objective > rnd.objective
+
+
+class TestBaselines:
+    def test_round_robin_spreads(self, k1_spec):
+        placement = RoundRobinPolicy().place(k1_spec, 4, 32)
+        # with ample nodes, round robin splits sim from analysis
+        for mp in placement.members:
+            assert mp.analysis_nodes[0] != mp.simulation_node
+
+    def test_random_is_seeded(self, k2_spec):
+        a = RandomPolicy(seed=3).place(k2_spec, 3, 32)
+        b = RandomPolicy(seed=3).place(k2_spec, 3, 32)
+        assert a == b
+
+    def test_random_seeds_differ(self, k2_spec):
+        results = {
+            tuple(
+                (m.simulation_node, m.analysis_nodes)
+                for m in RandomPolicy(seed=s).place(k2_spec, 3, 32).members
+            )
+            for s in range(6)
+        }
+        assert len(results) > 1

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_configurations(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Cf", "Cc", "C1.5", "C2.8"):
+            assert name in out
+
+
+class TestRun:
+    def test_runs_configuration(self, capsys):
+        assert main(["run", "C1.5", "--steps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ensemble makespan" in out
+        assert "F(P^{U,A,P})" in out
+        assert "em1.sim" in out
+
+    def test_unknown_configuration_fails(self, capsys):
+        assert main(["run", "C9.9"]) == 2
+        assert "unknown configuration" in capsys.readouterr().err
+
+    def test_seed_and_noise_flags(self, capsys):
+        assert (
+            main(["run", "Cc", "--steps", "4", "--seed", "3",
+                  "--noise", "0.05"]) == 0
+        )
+
+
+class TestSweep:
+    def test_prints_sweep_table(self, capsys):
+        assert main(["sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "analysis_cores" in out
+        assert "heuristic selects 8 cores" in out
+
+    def test_custom_settings(self, capsys):
+        assert main(["sweep", "--sim-cores", "8", "--stride", "400"]) == 0
+
+
+class TestPlan:
+    def test_plans_and_prints(self, capsys):
+        assert (
+            main(["plan", "--members", "2", "--analyses", "1",
+                  "--nodes", "2", "--steps", "4"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "F(P^{U,A,P})" in out
+
+    def test_impossible_budget_reports_error(self, capsys):
+        assert (
+            main(["plan", "--members", "4", "--analyses", "2",
+                  "--nodes", "1"]) == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFigures:
+    def test_fast_figures(self, capsys):
+        assert main(["figures", "--fast"]) == 0
+        out = capsys.readouterr().out
+        for artifact in ("fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
+                         "headline", "ablation-contention"):
+            assert artifact in out
+
+
+class TestCompare:
+    def test_default_set(self, capsys):
+        assert main(["compare", "--steps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "F(U,A,P)" in out
+        # C1.5 ranked first
+        first_row = out.splitlines()[1]
+        assert first_row.startswith("C1.5")
+
+    def test_explicit_configs(self, capsys):
+        assert main(["compare", "C2.6", "C2.8", "--steps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[1].startswith("C2.8")
+
+    def test_unknown_config_rejected(self, capsys):
+        assert main(["compare", "C7.7"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_mixed_shapes_rejected(self, capsys):
+        assert main(["compare", "Cf", "C1.5"]) == 2
+        assert "share member" in capsys.readouterr().err
+
+
+class TestFiguresOutput:
+    def test_json_artifacts_written(self, capsys, tmp_path):
+        outdir = tmp_path / "artifacts"
+        assert main(["figures", "--fast", "--output", str(outdir)]) == 0
+        files = {p.name for p in outdir.glob("*.json")}
+        assert "fig8.json" in files
+        assert "headline.json" in files
+        from repro.experiments.base import ExperimentResult
+
+        loaded = ExperimentResult.load(outdir / "fig8.json")
+        assert loaded.experiment_id == "fig8"

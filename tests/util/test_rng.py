@@ -1,0 +1,82 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.rng import RandomSource, spawn_rngs
+
+
+class TestRandomSource:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(42).generator.random(10)
+        b = RandomSource(42).generator.random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1).generator.random(10)
+        b = RandomSource(2).generator.random(10)
+        assert not np.array_equal(a, b)
+
+    def test_spawned_children_are_independent(self):
+        root = RandomSource(0)
+        a = root.spawn("a").generator.random(10)
+        b = root.spawn("b").generator.random(10)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_is_reproducible_across_roots(self):
+        a = RandomSource(9).spawn("x").generator.random(5)
+        b = RandomSource(9).spawn("x").generator.random(5)
+        assert np.array_equal(a, b)
+
+    def test_spawn_names_compose(self):
+        child = RandomSource(0, name="root").spawn("timing")
+        assert child.name == "root/timing"
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            RandomSource(-1)
+
+    def test_bool_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            RandomSource(True)
+
+    def test_float_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            RandomSource(1.5)
+
+    def test_none_seed_allowed(self):
+        RandomSource(None).generator.random()
+
+
+class TestUniformJitter:
+    def test_zero_width_returns_base_exactly(self):
+        src = RandomSource(3)
+        before = src.generator.bit_generator.state["state"]["state"]
+        assert src.uniform_jitter(10.0, 0.0) == 10.0
+        after = src.generator.bit_generator.state["state"]["state"]
+        assert before == after  # no randomness consumed
+
+    def test_jitter_stays_within_bounds(self):
+        src = RandomSource(4)
+        for _ in range(200):
+            v = src.uniform_jitter(10.0, 0.05)
+            assert 9.5 <= v <= 10.5
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValidationError):
+            RandomSource(0).uniform_jitter(1.0, -0.1)
+
+
+class TestSpawnRngs:
+    def test_returns_one_source_per_name(self):
+        rngs = spawn_rngs(5, ["a", "b", "c"])
+        assert set(rngs) == {"a", "b", "c"}
+        assert all(isinstance(v, RandomSource) for v in rngs.values())
+
+    def test_deterministic(self):
+        a = spawn_rngs(5, ["x", "y"])
+        b = spawn_rngs(5, ["x", "y"])
+        assert np.array_equal(
+            a["y"].generator.random(5), b["y"].generator.random(5)
+        )

@@ -1,0 +1,72 @@
+"""Tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    MILLISECONDS,
+    MICROSECONDS,
+    MINUTES,
+    SECONDS,
+    format_bytes,
+    format_time,
+)
+
+
+class TestConstants:
+    def test_byte_prefixes_are_powers_of_1024(self):
+        assert KIB == 1024
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+
+    def test_time_constants_convert_to_seconds(self):
+        assert SECONDS == 1.0
+        assert MILLISECONDS == 1e-3
+        assert MICROSECONDS == 1e-6
+        assert MINUTES == 60.0
+
+
+class TestFormatBytes:
+    def test_small_counts_render_as_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_mebibytes(self):
+        assert format_bytes(3 * MIB) == "3.00 MiB"
+
+    def test_gibibytes(self):
+        assert format_bytes(2 * GIB) == "2.00 GiB"
+
+    def test_zero(self):
+        assert format_bytes(0) == "0 B"
+
+    def test_negative_is_mirrored(self):
+        assert format_bytes(-3 * MIB) == "-3.00 MiB"
+
+    def test_boundary_just_below_prefix(self):
+        assert format_bytes(KIB - 1) == "1023 B"
+
+
+class TestFormatTime:
+    def test_zero(self):
+        assert format_time(0) == "0 s"
+
+    def test_milliseconds(self):
+        assert format_time(0.0035) == "3.50 ms"
+
+    def test_seconds(self):
+        assert format_time(2.5) == "2.50 s"
+
+    def test_minutes(self):
+        assert format_time(90) == "1.50 min"
+
+    def test_microseconds(self):
+        assert format_time(42e-6) == "42.00 us"
+
+    def test_negative_is_mirrored(self):
+        assert format_time(-2.5) == "-2.50 s"
+
+    def test_sub_nanosecond_falls_back_to_seconds(self):
+        out = format_time(1e-12)
+        assert out.endswith(" s")

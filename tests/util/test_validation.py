@@ -1,0 +1,105 @@
+"""Tests for repro.util.validation and the error hierarchy."""
+
+import math
+
+import pytest
+
+from repro.util.errors import (
+    ConfigurationError,
+    DTLError,
+    PlacementError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.util.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_positive_int,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ValidationError,
+            ConfigurationError,
+            PlacementError,
+            SimulationError,
+            ProtocolError,
+            DTLError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_error_is_a_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_placement_error_is_a_configuration_error(self):
+        assert issubclass(PlacementError, ConfigurationError)
+
+    def test_protocol_error_is_a_simulation_error(self):
+        assert issubclass(ProtocolError, SimulationError)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValidationError, match="x"):
+            require_positive("x", bad)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValidationError):
+            require_positive("x", bad)
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(ValidationError):
+            require_positive("x", "3")
+        with pytest.raises(ValidationError):
+            require_positive("x", True)
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            require_non_negative("x", -1e-9)
+
+
+class TestRequirePositiveInt:
+    def test_accepts_int(self):
+        assert require_positive_int("n", 3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.0, "2", True, None])
+    def test_rejects_non_positive_ints(self, bad):
+        with pytest.raises(ValidationError):
+            require_positive_int("n", bad)
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds_by_default(self):
+        assert require_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert require_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValidationError):
+            require_in_range("x", 0.0, 0.0, 1.0, inclusive_low=False)
+        with pytest.raises(ValidationError):
+            require_in_range("x", 1.0, 0.0, 1.0, inclusive_high=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            require_in_range("x", 1.5, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            require_in_range("x", -0.5, 0.0, 1.0)
+
+    def test_error_message_names_argument_and_bounds(self):
+        with pytest.raises(ValidationError, match=r"frac must be in \[0, 1\]"):
+            require_in_range("frac", 2.0, 0, 1)
