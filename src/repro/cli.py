@@ -11,6 +11,11 @@ Commands
     Run the §3.4 analysis-core sweep and print the heuristic's choice.
 ``plan --members N --analyses K --nodes M``
     Run the resource-constrained planner and print the resulting plan.
+``faults <config> [--rate R --policy P --kinds K]``
+    Execute one configuration under fault injection and print the fault
+    log, the resilience metrics, and the ideal-vs-robust objective.
+``faults --experiment``
+    Run the full resilience sweep (rates x recovery policies) instead.
 ``list``
     List the available configurations with their placements.
 """
@@ -24,6 +29,7 @@ from typing import List, Optional
 from repro.configs.base import build_spec
 from repro.configs.table2 import TABLE2_CONFIGS
 from repro.configs.table4 import TABLE4_CONFIGS
+from repro.faults.recovery import POLICY_NAMES
 from repro.monitoring.report import gantt, summary_report
 from repro.runtime.runner import run_ensemble
 from repro.util.errors import ReproError
@@ -174,6 +180,81 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import FaultKind, RandomFailureModel, make_policy
+    from repro.monitoring.resilience import compute_resilience
+    from repro.scheduler.objectives import FINAL_STAGE_ORDER
+
+    if args.experiment:
+        from repro.experiments.resilience import run_resilience
+
+        result = run_resilience(
+            trials=args.trials,
+            n_steps=args.steps,
+            base_seed=args.seed,
+            timing_noise=args.noise,
+        )
+        print(result.to_text())
+        return 0
+
+    if args.config is None:
+        print(
+            "a configuration name is required unless --experiment is given",
+            file=sys.stderr,
+        )
+        return 2
+    config = ALL_CONFIGS.get(args.config)
+    if config is None:
+        print(
+            f"unknown configuration {args.config!r}; "
+            f"valid: {sorted(ALL_CONFIGS)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        kinds = tuple(FaultKind(k) for k in args.kinds.split(","))
+    except ValueError:
+        print(
+            f"unknown fault kind in {args.kinds!r}; "
+            f"valid: {[k.value for k in FaultKind]}",
+            file=sys.stderr,
+        )
+        return 2
+
+    spec = build_spec(config, n_steps=args.steps)
+    placement = config.placement()
+    baseline = run_ensemble(
+        spec, placement, seed=args.seed, timing_noise=args.noise
+    )
+    result = run_ensemble(
+        spec,
+        placement,
+        seed=args.seed,
+        timing_noise=args.noise,
+        failure_model=RandomFailureModel(
+            rate=args.rate, kinds=kinds, seed=args.seed
+        ),
+        recovery=make_policy(args.policy),
+    )
+    print(
+        f"{args.config} under injection: rate={args.rate}, "
+        f"policy={args.policy}, kinds={args.kinds}"
+    )
+    print()
+    print(result.fault_log.summary())
+    print()
+    metrics = compute_resilience(result, baseline.ensemble_makespan)
+    print(metrics.to_text())
+    ideal = baseline.objective(FINAL_STAGE_ORDER)
+    robust = result.objective(FINAL_STAGE_ORDER)
+    retained = robust / ideal if ideal > 0 else 1.0
+    print(
+        f"F(P^{{U,A,P}})       ideal {ideal:.6f} -> "
+        f"under failures {robust:.6f} ({retained:.1%} retained)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -223,6 +304,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--nodes", type=int, default=2)
     p_plan.add_argument("--steps", type=int, default=37)
     p_plan.set_defaults(func=_cmd_plan)
+
+    p_faults = sub.add_parser(
+        "faults", help="execute under fault injection"
+    )
+    p_faults.add_argument(
+        "config",
+        nargs="?",
+        help="configuration name (e.g. C1.5); omit with --experiment",
+    )
+    p_faults.add_argument(
+        "--experiment",
+        action="store_true",
+        help="run the resilience sweep (rates x recovery policies)",
+    )
+    p_faults.add_argument("--rate", type=float, default=0.05)
+    p_faults.add_argument(
+        "--policy", choices=list(POLICY_NAMES), default="retry"
+    )
+    p_faults.add_argument(
+        "--kinds",
+        default="crash,straggler",
+        help="comma-separated fault kinds to inject",
+    )
+    p_faults.add_argument("--steps", type=int, default=12)
+    p_faults.add_argument("--trials", type=int, default=2)
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument("--noise", type=float, default=0.0)
+    p_faults.set_defaults(func=_cmd_faults)
 
     return parser
 

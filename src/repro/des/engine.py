@@ -36,6 +36,7 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._next_id = 0
         self._active_process: Optional[Process] = None
+        self._processes: List[Process] = []
 
     # -- clock ----------------------------------------------------------------
     @property
@@ -59,7 +60,18 @@ class Environment:
 
     def process(self, generator: Generator) -> Process:
         """Start a process from a generator of events."""
-        return Process(self, generator)
+        proc = Process(self, generator)
+        self._processes.append(proc)
+        return proc
+
+    def _stalled_processes(self, limit: int = 8) -> str:
+        """Describe still-alive processes for EmptySchedule diagnostics."""
+        alive = [p for p in self._processes if p.is_alive]
+        if not alive:
+            return "no processes are still alive"
+        shown = ", ".join(repr(p) for p in alive[:limit])
+        extra = f" (+{len(alive) - limit} more)" if len(alive) > limit else ""
+        return f"{len(alive)} processes still alive: {shown}{extra}"
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that triggers when every event in ``events`` has."""
@@ -93,7 +105,10 @@ class Environment:
     def step(self) -> None:
         """Process exactly one event, advancing the clock to it."""
         if not self._queue:
-            raise EmptySchedule("no events scheduled")
+            raise EmptySchedule(
+                f"no events scheduled at t={self._now:g}; "
+                f"{self._stalled_processes()}"
+            )
         when, _prio, _eid, event = heapq.heappop(self._queue)
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("event scheduled in the past")
@@ -132,7 +147,10 @@ class Environment:
             while not finished["done"]:
                 if not self._queue:
                     raise EmptySchedule(
-                        "event queue exhausted before the 'until' event triggered"
+                        "event queue exhausted at "
+                        f"t={self._now:g} before the 'until' event "
+                        f"({sentinel!r}) triggered; "
+                        f"{self._stalled_processes()}"
                     )
                 self.step()
             return sentinel.value

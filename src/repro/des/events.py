@@ -101,15 +101,24 @@ class Event:
         for callback in callbacks:
             callback(self)
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = (
-            "processed"
-            if self.processed
-            else "triggered"
-            if self._triggered
-            else "pending"
-        )
-        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+    def _state_name(self) -> str:
+        if self.processed:
+            return "processed"
+        if self._triggered:
+            return "triggered"
+        return "pending"
+
+    def __repr__(self) -> str:
+        detail = ""
+        if self._triggered:
+            if self._exception is not None:
+                detail = f" exception={type(self._exception).__name__}"
+            elif self._value is not None:
+                value = repr(self._value)
+                if len(value) > 40:
+                    value = value[:37] + "..."
+                detail = f" value={value}"
+        return f"<{type(self).__name__} {self._state_name()}{detail}>"
 
 
 class Timeout(Event):
@@ -120,9 +129,16 @@ class Timeout(Event):
             raise ValidationError(f"timeout delay must be >= 0, got {delay!r}")
         super().__init__(env)
         self.delay = delay
+        self.due = env.now + delay
         self._value = value
         self._triggered = True  # scheduled immediately at construction
         env.schedule(self, delay=delay, priority=EventPriority.NORMAL)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Timeout delay={self.delay:g} due=t{self.due:g} "
+            f"priority={EventPriority.NORMAL.name} {self._state_name()}>"
+        )
 
 
 class Interrupt(Exception):

@@ -39,6 +39,21 @@ class Process(Event):
         """True while the generator has not finished."""
         return not self.triggered
 
+    @property
+    def name(self) -> str:
+        """The underlying generator's name (best-effort)."""
+        return getattr(
+            self._generator, "__name__", type(self._generator).__name__
+        )
+
+    def __repr__(self) -> str:
+        if not self.is_alive:
+            return f"<Process {self.name} {self._state_name()}>"
+        waiting = ""
+        if self._waiting_on is not None:
+            waiting = f" waiting_on={type(self._waiting_on).__name__}"
+        return f"<Process {self.name} alive at t={self.env.now:g}{waiting}>"
+
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current instant.
 

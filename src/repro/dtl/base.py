@@ -104,18 +104,24 @@ class DataTransportLayer(abc.ABC):
                 f"expected_consumers must be >= 1, got {expected_consumers}"
             )
         key = chunk.key
+        member = chunk.metadata.get("member") if chunk.metadata else None
+        who = (
+            f"member {member!r}, component {key.producer!r}"
+            if member
+            else f"component {key.producer!r}"
+        )
         prev_step = self._last_step.get(key.producer)
         if prev_step is not None:
             if key.step <= prev_step:
                 raise ProtocolError(
-                    f"{key.producer!r} staged step {key.step} after "
+                    f"{who} staged step {key.step} after "
                     f"step {prev_step} (steps must strictly increase)"
                 )
             prev_key = ChunkKey(key.producer, prev_step)
             live = self._slots.get(prev_key)
             if live is not None and not live.fully_read:
                 raise ProtocolError(
-                    f"{key.producer!r} attempted to stage step {key.step} "
+                    f"{who} attempted to stage step {key.step} "
                     f"while step {prev_step} has unread consumers "
                     f"({len(live.readers)}/{live.expected_consumers} read) — "
                     "the no-buffering protocol forbids this"
@@ -141,10 +147,21 @@ class DataTransportLayer(abc.ABC):
         """
         staged = self._slots.get(key)
         if staged is None:
-            raise DTLError(f"chunk {key} is not staged in {self.name!r}")
+            raise DTLError(
+                f"chunk {key} is not staged in {self.name!r} "
+                f"(consumer {consumer!r}, producer {key.producer!r}, "
+                f"step {key.step})"
+            )
         if consumer in staged.readers:
+            member = (
+                staged.chunk.metadata.get("member")
+                if staged.chunk.metadata
+                else None
+            )
+            context = f" of member {member!r}" if member else ""
             raise ProtocolError(
-                f"consumer {consumer!r} already read chunk {key}"
+                f"consumer {consumer!r}{context} already read chunk {key} "
+                f"(step {key.step})"
             )
         staged.readers.add(consumer)
         self.reads_served_total += 1
@@ -152,6 +169,27 @@ class DataTransportLayer(abc.ABC):
         if staged.fully_read:
             del self._slots[key]
         return chunk
+
+    def forget_consumer(self, producer: str, consumer: str) -> None:
+        """Stop counting ``consumer`` toward ``producer``'s live slot.
+
+        Used when a consumer is retired mid-run (e.g. a degraded
+        analysis dropped by a recovery policy): if the producer's most
+        recent chunk is still live and unread by ``consumer``, its
+        expected reader count is decremented — reclaiming the slot if
+        everyone else has already read — so the producer is not
+        deadlocked behind a reader that will never come.
+        """
+        last = self._last_step.get(producer)
+        if last is None:
+            return
+        key = ChunkKey(producer, last)
+        staged = self._slots.get(key)
+        if staged is None or consumer in staged.readers:
+            return
+        staged.expected_consumers = max(staged.expected_consumers - 1, 0)
+        if staged.fully_read:
+            del self._slots[key]
 
     def peek(self, key: ChunkKey) -> Optional[StagedChunk]:
         """Non-consuming view of a staged slot (None if absent)."""

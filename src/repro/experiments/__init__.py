@@ -19,6 +19,8 @@ orderings; ``EXPERIMENTS.md`` records paper-vs-measured per artifact.
   spread (abstract's "up to four orders of magnitude" claim).
 - :mod:`repro.experiments.ablation` — design-choice ablations
   (contention model, data locality, progress tax).
+- :mod:`repro.experiments.resilience` — beyond the paper: robust F(P)
+  rankings under fault injection (failure rates x recovery policies).
 """
 
 from repro.experiments.base import (
@@ -39,6 +41,7 @@ from repro.experiments.ablation import (
     run_tax_ablation,
 )
 from repro.experiments.heterogeneous import run_heterogeneous
+from repro.experiments.resilience import run_resilience
 from repro.experiments.scaling import run_scaling
 from repro.experiments.stride import run_stride_sweep
 from repro.experiments.tiers import run_tier_matrix
@@ -57,6 +60,7 @@ __all__ = [
     "run_headline",
     "run_heterogeneous",
     "run_locality_ablation",
+    "run_resilience",
     "run_scaling",
     "run_stride_sweep",
     "run_tax_ablation",

@@ -1,0 +1,72 @@
+"""Fault injection and resilience for the ensemble DES.
+
+The paper's execution model (Eqs. 1-3) assumes an ideal, failure-free
+steady state. This subpackage perturbs the discrete-event executor
+beyond that model so placements can be ranked by *robust* F(P):
+
+- :mod:`repro.faults.models` — seeded, deterministic failure models
+  (component crash, straggler, transient stall, DTL chunk
+  loss/corruption) expressed as schedules over
+  ``(member, component, step)``;
+- :mod:`repro.faults.injector` — the injection hook the executor
+  routes every timed stage through; zero-failure injection reproduces
+  the baseline trace byte for byte;
+- :mod:`repro.faults.recovery` — recovery policies
+  (retry-with-backoff, checkpoint restart, degrade-by-dropping) the
+  scheduler can consume.
+
+Resilience metrics over injected runs live in
+:mod:`repro.monitoring.resilience`; robust placement scoring in
+:mod:`repro.scheduler.robust`; the rate x policy sweep in
+:mod:`repro.experiments.resilience`.
+"""
+
+from repro.faults.injector import (
+    AnalysisDropped,
+    FaultInjector,
+    FaultLog,
+    FaultRecord,
+    StageContext,
+)
+from repro.faults.models import (
+    CHUNK_KINDS,
+    FailureModel,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    NoFailureModel,
+    RandomFailureModel,
+    ScheduledFailureModel,
+)
+from repro.faults.recovery import (
+    POLICY_NAMES,
+    CheckpointRestartPolicy,
+    DropAnalysisPolicy,
+    RecoveryAction,
+    RecoveryPolicy,
+    RetryBackoffPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "AnalysisDropped",
+    "CHUNK_KINDS",
+    "CheckpointRestartPolicy",
+    "DropAnalysisPolicy",
+    "FailureModel",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultLog",
+    "FaultRecord",
+    "FaultSchedule",
+    "NoFailureModel",
+    "POLICY_NAMES",
+    "RandomFailureModel",
+    "RecoveryAction",
+    "RecoveryPolicy",
+    "RetryBackoffPolicy",
+    "ScheduledFailureModel",
+    "StageContext",
+    "make_policy",
+]

@@ -1,0 +1,291 @@
+"""Failure models: seeded, deterministic fault schedules.
+
+A failure model turns an ensemble spec into a :class:`FaultSchedule`
+*before* the simulation starts: every fault is expressed as a
+:class:`FaultEvent` pinned to a ``(member, component, step)`` site (and
+a fine-grained stage within the step). The executor's injection hooks
+then consult the schedule as the DES run unfolds.
+
+Scheduling faults ahead of time — rather than drawing during the run —
+keeps fault randomness strictly separate from the executor's own
+timing-noise streams: a zero-rate model yields an empty schedule and
+the run is byte-identical to an uninjected baseline.
+
+Fault kinds
+-----------
+``CRASH``
+    The component dies partway through a stage; the partial work is
+    lost and a :class:`~repro.faults.recovery.RecoveryPolicy` decides
+    how execution resumes. ``magnitude`` is the fraction of the stage
+    completed before the crash (in ``(0, 1]``).
+``STRAGGLER``
+    The stage runs slower than nominal; ``magnitude`` is the
+    multiplicative inflation factor (> 1).
+``STALL``
+    A transient freeze (OS jitter, network brown-out) of ``magnitude``
+    seconds before the stage starts.
+``CHUNK_LOSS`` / ``CHUNK_CORRUPT``
+    The staged chunk for ``(producer, step)`` is lost or corrupted in
+    the DTL; every consumer detects the problem during its read (after
+    ``magnitude`` seconds of detection latency) and must re-read.
+    Scheduled on the producer's ``W`` stage, experienced at consumers'
+    ``R`` stages.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
+
+from repro.util.errors import ValidationError
+from repro.util.rng import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.spec import EnsembleSpec
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the injector understands."""
+
+    CRASH = "crash"
+    STRAGGLER = "straggler"
+    STALL = "stall"
+    CHUNK_LOSS = "chunk-loss"
+    CHUNK_CORRUPT = "chunk-corrupt"
+
+
+#: kinds that perturb the DTL data path: scheduled against the
+#: producer's W stage, experienced by every consumer's R of that step.
+CHUNK_KINDS: Tuple[FaultKind, ...] = (
+    FaultKind.CHUNK_LOSS,
+    FaultKind.CHUNK_CORRUPT,
+)
+
+#: valid fine-grained stage codes a fault can target (§3.1 notation).
+FAULT_STAGES: Tuple[str, ...] = ("S", "W", "R", "A")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault at a ``(member, component, step)`` site.
+
+    ``magnitude`` semantics depend on ``kind`` — see the module
+    docstring. ``repeats`` (crashes only) models a component that
+    crashes several consecutive times at the same site, exercising the
+    recovery policy's escalation behaviour.
+    """
+
+    member: str
+    component: str
+    step: int
+    kind: FaultKind
+    stage: str
+    magnitude: float
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.member or not self.component:
+            raise ValidationError("fault member/component must be non-empty")
+        if self.step < 0:
+            raise ValidationError(f"fault step must be >= 0, got {self.step}")
+        if self.stage not in FAULT_STAGES:
+            raise ValidationError(
+                f"fault stage must be one of {FAULT_STAGES}, got {self.stage!r}"
+            )
+        if self.repeats < 1:
+            raise ValidationError(f"repeats must be >= 1, got {self.repeats}")
+        if self.kind is FaultKind.CRASH:
+            if not 0.0 < self.magnitude <= 1.0:
+                raise ValidationError(
+                    f"crash magnitude is the completed fraction and must lie "
+                    f"in (0, 1], got {self.magnitude!r}"
+                )
+        elif self.kind is FaultKind.STRAGGLER:
+            if self.magnitude <= 1.0:
+                raise ValidationError(
+                    f"straggler magnitude is an inflation factor and must be "
+                    f"> 1, got {self.magnitude!r}"
+                )
+        elif self.magnitude < 0:
+            raise ValidationError(
+                f"{self.kind.value} magnitude must be >= 0, got "
+                f"{self.magnitude!r}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultEvent({self.kind.value} @ {self.component}:"
+            f"{self.stage}{self.step} x{self.magnitude:g})"
+        )
+
+
+class FaultSchedule:
+    """An immutable set of fault events with per-site lookup.
+
+    Component-local faults (crash/straggler/stall) are indexed by
+    ``(component, step, stage)``; chunk faults by ``(producer, step)``.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        ordered = sorted(
+            events,
+            key=lambda e: (e.component, e.step, e.stage, e.kind.value),
+        )
+        self._events: Tuple[FaultEvent, ...] = tuple(ordered)
+        self._by_site: Dict[Tuple[str, int, str], List[FaultEvent]] = {}
+        self._chunk: Dict[Tuple[str, int], List[FaultEvent]] = {}
+        for ev in self._events:
+            if ev.kind in CHUNK_KINDS:
+                self._chunk.setdefault((ev.component, ev.step), []).append(ev)
+            else:
+                key = (ev.component, ev.step, ev.stage)
+                self._by_site.setdefault(key, []).append(ev)
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        """All events in deterministic (component, step, stage) order."""
+        return self._events
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events_for(
+        self, component: str, step: int, stage: str
+    ) -> Tuple[FaultEvent, ...]:
+        """Component-local faults scheduled at one stage instance."""
+        return tuple(self._by_site.get((component, step, stage), ()))
+
+    def chunk_events_for(
+        self, producer: str, step: int
+    ) -> Tuple[FaultEvent, ...]:
+        """Chunk faults affecting reads of ``(producer, step)``."""
+        return tuple(self._chunk.get((producer, step), ()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultSchedule({len(self._events)} events)"
+
+
+class FailureModel(abc.ABC):
+    """Maps an ensemble spec to a deterministic fault schedule."""
+
+    @abc.abstractmethod
+    def build_schedule(self, spec: "EnsembleSpec") -> FaultSchedule:
+        """Produce the fault schedule for one execution of ``spec``."""
+
+
+class NoFailureModel(FailureModel):
+    """The ideal, failure-free model: an always-empty schedule."""
+
+    def build_schedule(self, spec: "EnsembleSpec") -> FaultSchedule:
+        return FaultSchedule(())
+
+
+class RandomFailureModel(FailureModel):
+    """Seeded per-site Bernoulli fault process.
+
+    Every ``(component, step)`` site independently faults with
+    probability ``rate``; the fault kind is drawn uniformly from
+    ``kinds`` (chunk kinds only apply to simulation components — they
+    are skipped for analyses). Sites are enumerated in spec order, so a
+    given ``(rate, kinds, seed)`` triple always produces the same
+    schedule regardless of how the executor consumes it.
+
+    A rate of exactly 0 produces an empty schedule; injection with an
+    empty schedule is byte-identical to no injection at all.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        kinds: Sequence[FaultKind] = (FaultKind.CRASH,),
+        seed: int = 0,
+        crash_point: float = 0.5,
+        straggler_factor: float = 3.0,
+        stall_seconds: float = 5.0,
+        detection_seconds: float = 1.0,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValidationError(f"rate must lie in [0, 1], got {rate!r}")
+        if not kinds:
+            raise ValidationError("kinds must name at least one FaultKind")
+        for kind in kinds:
+            if not isinstance(kind, FaultKind):
+                raise ValidationError(f"not a FaultKind: {kind!r}")
+        self.rate = rate
+        self.kinds = tuple(kinds)
+        self.seed = seed
+        self.crash_point = crash_point
+        self.straggler_factor = straggler_factor
+        self.stall_seconds = stall_seconds
+        self.detection_seconds = detection_seconds
+
+    def _magnitude(self, kind: FaultKind) -> float:
+        if kind is FaultKind.CRASH:
+            return self.crash_point
+        if kind is FaultKind.STRAGGLER:
+            return self.straggler_factor
+        if kind is FaultKind.STALL:
+            return self.stall_seconds
+        return self.detection_seconds
+
+    def build_schedule(self, spec: "EnsembleSpec") -> FaultSchedule:
+        if self.rate == 0.0:
+            return FaultSchedule(())
+        gen = RandomSource(self.seed, name="faults").generator
+        events: List[FaultEvent] = []
+        for member in spec.members:
+            sites = [(member.simulation.name, True)]
+            sites += [(ana.name, False) for ana in member.analyses]
+            for component, is_sim in sites:
+                allowed = [
+                    k for k in self.kinds if is_sim or k not in CHUNK_KINDS
+                ]
+                if not allowed:
+                    continue
+                for step in range(member.n_steps):
+                    if gen.uniform() >= self.rate:
+                        continue
+                    kind = allowed[int(gen.integers(len(allowed)))]
+                    if kind in CHUNK_KINDS:
+                        stage = "W"
+                    else:
+                        stage = "S" if is_sim else "A"
+                    events.append(
+                        FaultEvent(
+                            member=member.name,
+                            component=component,
+                            step=step,
+                            kind=kind,
+                            stage=stage,
+                            magnitude=self._magnitude(kind),
+                        )
+                    )
+        return FaultSchedule(events)
+
+
+class ScheduledFailureModel(FailureModel):
+    """An explicit, hand-written fault schedule (for tests and replay)."""
+
+    def __init__(self, events: Iterable[FaultEvent]) -> None:
+        self._schedule = FaultSchedule(events)
+
+    def build_schedule(self, spec: "EnsembleSpec") -> FaultSchedule:
+        known = set()
+        for member in spec.members:
+            known.add(member.simulation.name)
+            known.update(a.name for a in member.analyses)
+        unknown = sorted(
+            {e.component for e in self._schedule.events} - known
+        )
+        if unknown:
+            raise ValidationError(
+                f"fault schedule names unknown components {unknown}; "
+                f"ensemble has {sorted(known)}"
+            )
+        return self._schedule

@@ -1,0 +1,150 @@
+"""Recovery policies: what execution does after a crash.
+
+A :class:`RecoveryPolicy` is consulted by the
+:class:`~repro.faults.injector.FaultInjector` each time a crash fault
+fires. It returns a :class:`RecoveryAction` naming the recovery mode
+and the virtual-time delay the crashed component pays before resuming:
+
+- ``retry`` — re-run the crashed stage after an exponential-backoff
+  delay (Ensemble-Toolkit-style task resubmission);
+- ``restart`` — the member restarts from its last checkpoint: the
+  delay covers restart latency plus re-computing the steps since the
+  checkpoint boundary (checkpoint period ``W``-side, i.e. a checkpoint
+  is taken every ``period`` completed writes);
+- ``drop`` — degrade by dropping the analysis for the remainder of the
+  run; the simulation stops waiting on it (analyses only — simulation
+  crashes fall back to retry).
+
+Policies are plain value objects the scheduler can consume: robust
+placement scoring (:mod:`repro.scheduler.robust`) takes a policy
+instance and evaluates F(P) under it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.util.errors import ValidationError
+from repro.util.validation import require_non_negative, require_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import StageContext
+
+#: CLI / experiment names of the built-in policies.
+POLICY_NAMES: Tuple[str, ...] = ("retry", "restart", "degrade")
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """The injector's marching orders after one crash."""
+
+    mode: str  # "retry" | "restart" | "drop"
+    delay: float  # virtual seconds before the component resumes
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("retry", "restart", "drop"):
+            raise ValidationError(f"unknown recovery mode {self.mode!r}")
+        require_non_negative("delay", self.delay)
+
+
+class RecoveryPolicy(abc.ABC):
+    """Decides how a crashed stage resumes."""
+
+    #: human-readable policy name (for logs, reports, CLI).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def on_crash(self, ctx: "StageContext", attempt: int) -> RecoveryAction:
+        """React to the ``attempt``-th (0-based) crash at one site."""
+
+
+class RetryBackoffPolicy(RecoveryPolicy):
+    """Re-run the stage after exponential backoff.
+
+    ``delay = min(base_delay * factor**attempt, max_delay)`` — retries
+    are unbounded but the backoff is capped, so any finite fault
+    schedule terminates.
+    """
+
+    name = "retry"
+
+    def __init__(
+        self,
+        base_delay: float = 0.5,
+        factor: float = 2.0,
+        max_delay: float = 30.0,
+    ) -> None:
+        require_non_negative("base_delay", base_delay)
+        require_non_negative("max_delay", max_delay)
+        if factor < 1.0:
+            raise ValidationError(f"factor must be >= 1, got {factor!r}")
+        self.base_delay = base_delay
+        self.factor = factor
+        self.max_delay = max_delay
+
+    def on_crash(self, ctx: "StageContext", attempt: int) -> RecoveryAction:
+        delay = min(self.base_delay * self.factor**attempt, self.max_delay)
+        return RecoveryAction("retry", delay)
+
+
+class CheckpointRestartPolicy(RecoveryPolicy):
+    """Restart the member from its last checkpoint.
+
+    A checkpoint is taken every ``period`` completed in situ steps
+    (write-side), so a crash at step ``s`` loses ``s % period`` steps
+    of progress. The recovery delay is the restart latency plus the
+    time to re-execute those lost steps at the component's nominal
+    per-step rate (``ctx.step_time``); the crashed stage itself is then
+    re-run. Smaller periods recover faster but a real system would pay
+    more checkpoint I/O — the trade-off this policy exists to study.
+    """
+
+    name = "restart"
+
+    def __init__(self, period: int = 5, restart_latency: float = 2.0) -> None:
+        require_positive_int("period", period)
+        require_non_negative("restart_latency", restart_latency)
+        self.period = period
+        self.restart_latency = restart_latency
+
+    def on_crash(self, ctx: "StageContext", attempt: int) -> RecoveryAction:
+        lost_steps = ctx.step % self.period
+        delay = self.restart_latency + lost_steps * ctx.step_time
+        return RecoveryAction("restart", delay)
+
+
+class DropAnalysisPolicy(RecoveryPolicy):
+    """Degrade: drop a crashed analysis for the remainder of the run.
+
+    Only analyses that have completed at least one full step are
+    dropped (so every component leaves a usable trace); simulation
+    crashes — and analysis crashes at step 0 — are delegated to the
+    ``fallback`` policy (retry-with-backoff by default). A dropped
+    analysis stops gating the simulation's write barrier, trading
+    analysis coverage for ensemble progress.
+    """
+
+    name = "degrade"
+
+    def __init__(self, fallback: Optional[RecoveryPolicy] = None) -> None:
+        self.fallback = fallback or RetryBackoffPolicy()
+
+    def on_crash(self, ctx: "StageContext", attempt: int) -> RecoveryAction:
+        if ctx.stage in ("R", "A") and ctx.step > 0:
+            return RecoveryAction("drop", 0.0)
+        return self.fallback.on_crash(ctx, attempt)
+
+
+def make_policy(name: str) -> RecoveryPolicy:
+    """Instantiate a built-in policy by its CLI name."""
+    if name == "retry":
+        return RetryBackoffPolicy()
+    if name == "restart":
+        return CheckpointRestartPolicy()
+    if name == "degrade":
+        return DropAnalysisPolicy()
+    raise ValidationError(
+        f"unknown recovery policy {name!r}; valid: {list(POLICY_NAMES)}"
+    )

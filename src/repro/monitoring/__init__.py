@@ -7,7 +7,10 @@ hardware counters (instructions, cycles, LLC references/misses) from
 each component's workload profile and its contention assessment; and
 :mod:`repro.monitoring.metrics` computes the paper's Table 1 metric set
 at all three granularities (ensemble component, ensemble member,
-workflow ensemble).
+workflow ensemble). :mod:`repro.monitoring.resilience` extends the set
+beyond the paper's ideal steady state: goodput, makespan inflation,
+effective efficiency, and recovery-time distributions of runs executed
+under fault injection (:mod:`repro.faults`).
 """
 
 from repro.monitoring.counters import HardwareCounters, synthesize_counters
@@ -19,6 +22,12 @@ from repro.monitoring.metrics import (
     ensemble_makespan,
 )
 from repro.monitoring.report import gantt, summary_report
+from repro.monitoring.resilience import (
+    ResilienceMetrics,
+    busy_time,
+    compute_resilience,
+    steps_completed,
+)
 from repro.monitoring.tracer import Stage, StageRecord, StageTracer
 from repro.monitoring.traceio import (
     load_trace,
@@ -31,15 +40,19 @@ __all__ = [
     "EnsembleMetrics",
     "HardwareCounters",
     "MemberMetrics",
+    "ResilienceMetrics",
     "Stage",
     "StageRecord",
     "StageTracer",
+    "busy_time",
     "component_metrics",
+    "compute_resilience",
     "ensemble_makespan",
     "gantt",
     "load_trace",
     "member_stages_from_trace",
     "save_trace",
+    "steps_completed",
     "summary_report",
     "synthesize_counters",
 ]

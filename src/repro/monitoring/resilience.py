@@ -1,0 +1,152 @@
+"""Resilience metrics: what failures cost an ensemble execution.
+
+Distills an injected run (its :class:`~repro.monitoring.tracer
+.StageTracer` plus :class:`~repro.faults.injector.FaultLog`) against a
+failure-free baseline into a :class:`ResilienceMetrics` bundle:
+
+- **goodput** — in situ steps completed per virtual second (the
+  ensemble's useful forward progress rate);
+- **makespan inflation** — faulted / baseline ensemble makespan;
+- **effective efficiency** — the fraction of occupied component-time
+  spent on *useful* work: busy stage time minus the work the fault log
+  says was lost or redone, normalized by makespan x component count
+  (the under-failures analogue of the paper's Eq. 3 efficiency E);
+- **recovery-time distribution** — per-fault time from detection to
+  resumed useful work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from repro.monitoring.tracer import Stage, StageTracer
+from repro.util.errors import ValidationError
+from repro.util.validation import require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultLog
+    from repro.runtime.results import ExecutionResult
+
+#: stages that constitute useful work (idle stages are overhead).
+USEFUL_STAGES = (
+    Stage.SIM_COMPUTE,
+    Stage.SIM_WRITE,
+    Stage.ANA_READ,
+    Stage.ANA_COMPUTE,
+)
+
+
+@dataclass(frozen=True)
+class ResilienceMetrics:
+    """How one (possibly injected) run fared against its baseline."""
+
+    makespan: float
+    baseline_makespan: float
+    steps_completed: int
+    goodput: float  # completed steps per virtual second
+    effective_efficiency: float  # useful busy fraction in [0, 1]
+    num_faults: int
+    num_crashes: int
+    lost_work: float  # virtual seconds lost or redone
+    recovery_times: Tuple[float, ...]
+
+    @property
+    def inflation(self) -> float:
+        """Makespan inflation factor (1.0 = no slowdown)."""
+        return self.makespan / self.baseline_makespan
+
+    @property
+    def mean_recovery_time(self) -> float:
+        if not self.recovery_times:
+            return 0.0
+        return float(np.mean(self.recovery_times))
+
+    @property
+    def max_recovery_time(self) -> float:
+        if not self.recovery_times:
+            return 0.0
+        return float(max(self.recovery_times))
+
+    def recovery_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the recovery-time distribution."""
+        if not 0 <= q <= 100:
+            raise ValidationError(f"percentile must lie in [0, 100], got {q}")
+        if not self.recovery_times:
+            return 0.0
+        return float(np.percentile(self.recovery_times, q))
+
+    def to_text(self) -> str:
+        """Render as an aligned block (what the CLI prints)."""
+        lines = [
+            f"makespan             {self.makespan:10.2f} s  "
+            f"(baseline {self.baseline_makespan:.2f} s, "
+            f"inflation x{self.inflation:.3f})",
+            f"goodput              {self.goodput:10.4f} steps/s  "
+            f"({self.steps_completed} steps completed)",
+            f"effective efficiency {self.effective_efficiency:10.4f}",
+            f"faults               {self.num_faults:10d}  "
+            f"({self.num_crashes} crashes, {self.lost_work:.2f} s lost)",
+        ]
+        if self.recovery_times:
+            lines.append(
+                f"recovery time        {self.mean_recovery_time:10.2f} s mean, "
+                f"{self.recovery_percentile(50):.2f} s median, "
+                f"{self.max_recovery_time:.2f} s max"
+            )
+        return "\n".join(lines)
+
+
+def busy_time(tracer: StageTracer) -> float:
+    """Total component-seconds spent in non-idle stages."""
+    return sum(
+        r.duration for r in tracer.records if r.stage in USEFUL_STAGES
+    )
+
+
+def steps_completed(tracer: StageTracer) -> int:
+    """In situ steps completed across all simulations in the trace."""
+    return sum(
+        1 for r in tracer.records if r.stage is Stage.SIM_COMPUTE
+    )
+
+
+def compute_resilience(
+    result: "ExecutionResult",
+    baseline_makespan: float,
+    fault_log: Optional["FaultLog"] = None,
+) -> ResilienceMetrics:
+    """Resilience metrics of ``result`` against a failure-free baseline.
+
+    ``fault_log`` defaults to ``result.fault_log``; pass it explicitly
+    when analyzing a trace whose log was captured separately.
+    """
+    require_positive("baseline_makespan", baseline_makespan)
+    log = fault_log if fault_log is not None else result.fault_log
+    tracer = result.tracer
+    makespan = result.ensemble_makespan
+    if makespan <= 0:
+        raise ValidationError("execution result has a non-positive makespan")
+
+    busy = busy_time(tracer)
+    lost = log.lost_work_total if log is not None else 0.0
+    useful = max(busy - lost, 0.0)
+    n_components = len(tracer.components)
+    steps = steps_completed(tracer)
+
+    from repro.faults.models import FaultKind  # local: avoid hard dep
+
+    crashes = len(log.of_kind(FaultKind.CRASH)) if log is not None else 0
+    return ResilienceMetrics(
+        makespan=makespan,
+        baseline_makespan=baseline_makespan,
+        steps_completed=steps,
+        goodput=steps / makespan,
+        effective_efficiency=useful / (makespan * n_components),
+        num_faults=len(log) if log is not None else 0,
+        num_crashes=crashes,
+        lost_work=lost,
+        recovery_times=tuple(log.recovery_times) if log is not None else (),
+    )

@@ -26,7 +26,7 @@ the data path implement the same protocol.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Generator, List, Optional, Set
 
 import numpy as np
 
@@ -36,6 +36,14 @@ from repro.des.resources import Resource
 from repro.dtl.base import DataTransportLayer
 from repro.dtl.chunk import Chunk, ChunkKey
 from repro.dtl.dimes import InMemoryStagingDTL
+from repro.faults.injector import (
+    AnalysisDropped,
+    FaultInjector,
+    FaultLog,
+    StageContext,
+)
+from repro.faults.models import FailureModel
+from repro.faults.recovery import RecoveryPolicy
 from repro.monitoring.tracer import Stage, StageTracer
 from repro.platform.cluster import Cluster
 from repro.platform.specs import make_cori_like_cluster
@@ -78,6 +86,18 @@ class EnsembleExecutor:
         queue instead of proceeding in parallel. Off by default — at
         the paper's chunk sizes transport is negligible, but for large
         payloads the serialization visibly stretches R.
+    failure_model:
+        Optional :class:`~repro.faults.models.FailureModel`. When set,
+        its fault schedule is injected into the run: every timed stage
+        is routed through a :class:`~repro.faults.injector
+        .FaultInjector`, which perturbs stage events without touching
+        the coupling-protocol logic. A model with an empty schedule
+        (e.g. rate 0) produces a byte-identical trace to no model at
+        all.
+    recovery:
+        Recovery policy applied to injected crashes (default:
+        retry with exponential backoff). Ignored without a
+        ``failure_model``.
     """
 
     def __init__(
@@ -91,6 +111,8 @@ class EnsembleExecutor:
         allow_oversubscription: bool = False,
         stage_real_chunks: bool = False,
         congestion_aware: bool = False,
+        failure_model: Optional[FailureModel] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         require_non_negative("timing_noise", timing_noise)
         self.spec = spec
@@ -105,6 +127,9 @@ class EnsembleExecutor:
         self.allow_oversubscription = allow_oversubscription
         self.stage_real_chunks = stage_real_chunks
         self.congestion_aware = congestion_aware
+        self.failure_model = failure_model
+        self.recovery = recovery
+        self.fault_log: Optional[FaultLog] = None
 
     def run(self) -> ExecutionResult:
         """Execute the ensemble; returns the full result bundle."""
@@ -124,10 +149,17 @@ class EnsembleExecutor:
                 node: Resource(env, capacity=1, name=f"nic-n{node}")
                 for node in range(self.placement.num_nodes)
             }
+        injector = None
+        if self.failure_model is not None:
+            schedule = self.failure_model.build_schedule(self.spec)
+            injector = FaultInjector(schedule, self.recovery)
+            self.fault_log = injector.log
 
         member_procs = []
         for member in effective:
-            procs = self._launch_member(env, member, tracer, root_rng, nics)
+            procs = self._launch_member(
+                env, member, tracer, root_rng, nics, injector
+            )
             member_procs.extend(procs)
         env.run()
 
@@ -139,6 +171,7 @@ class EnsembleExecutor:
             cluster=self.cluster,
             seed=self.seed,
             noise=self.timing_noise,
+            fault_log=self.fault_log,
         )
 
     # -- process construction ---------------------------------------------------
@@ -149,6 +182,7 @@ class EnsembleExecutor:
         tracer: StageTracer,
         root_rng: RandomSource,
         nics=None,
+        injector: Optional[FaultInjector] = None,
     ):
         n = member.n_steps
         written: List[Event] = [env.event() for _ in range(n)]
@@ -159,12 +193,13 @@ class EnsembleExecutor:
 
         noise = self.timing_noise
         dtl = self.dtl if self.stage_real_chunks else None
+        dropped: Set[str] = set()
         sim_rng = root_rng.spawn(member.simulation.name)
         procs = [
             env.process(
                 _simulation_process(
                     env, member, tracer, sim_rng, noise, written, all_read,
-                    dtl,
+                    dtl, injector, dropped,
                 )
             )
         ]
@@ -183,10 +218,50 @@ class EnsembleExecutor:
                         read_done,
                         dtl,
                         nics,
+                        injector,
+                        dropped,
                     )
                 )
             )
         return procs
+
+
+def _stage(
+    env: Environment,
+    injector: Optional[FaultInjector],
+    member_name: str,
+    component: str,
+    stage: str,
+    step: int,
+    duration: float,
+    step_time: float,
+    producer: Optional[str] = None,
+    body=None,
+) -> Generator:
+    """Run one timed stage, routing through the fault injector if any.
+
+    The single choke point through which every S/W/R/A stage's waiting
+    flows — injectors perturb here, so the coupling-protocol logic in
+    the process functions below never forks on the fault path. Without
+    an injector (or with nothing scheduled at this site) the emitted
+    event sequence is exactly the baseline's.
+    """
+    if injector is None:
+        if body is None:
+            yield env.timeout(duration)
+        else:
+            yield from body(1.0)
+        return
+    ctx = StageContext(
+        member=member_name,
+        component=component,
+        stage=stage,
+        step=step,
+        duration=duration,
+        step_time=step_time,
+        producer=producer,
+    )
+    yield from injector.execute(env, ctx, body)
 
 
 def _simulation_process(
@@ -198,12 +273,18 @@ def _simulation_process(
     written: List[Event],
     all_read: List[Event],
     dtl: Optional[DataTransportLayer] = None,
+    injector: Optional[FaultInjector] = None,
+    dropped: Optional[Set[str]] = None,
 ):
     """S -> I^S -> W per step, enforcing W_{i+1} after all R_i."""
     sim = member.simulation
+    step_time = sim.compute_time + sim.io_time
     for step in range(member.n_steps):
         t0 = env.now
-        yield env.timeout(rng.uniform_jitter(sim.compute_time, noise))
+        yield from _stage(
+            env, injector, member.name, sim.name, "S", step,
+            rng.uniform_jitter(sim.compute_time, noise), step_time,
+        )
         t1 = env.now
         tracer.record(sim.name, Stage.SIM_COMPUTE, step, t0, t1)
 
@@ -212,22 +293,28 @@ def _simulation_process(
         t2 = env.now
         tracer.record(sim.name, Stage.SIM_IDLE, step, t1, t2)
 
-        yield env.timeout(rng.uniform_jitter(sim.io_time, noise))
+        yield from _stage(
+            env, injector, member.name, sim.name, "W", step,
+            rng.uniform_jitter(sim.io_time, noise), step_time,
+        )
         t3 = env.now
         tracer.record(sim.name, Stage.SIM_WRITE, step, t2, t3)
         if dtl is not None:
             # real-data mode: stage a sentinel payload; the DTL's
-            # no-buffering check fires here if the protocol were broken
-            chunk = Chunk(
-                key=ChunkKey(producer=sim.name, step=step),
-                payload=np.array([float(step), t3], dtype=np.float64),
-                metadata={"member": member.name},
-            )
-            dtl.stage(
-                chunk,
-                producer_node=sim.node,
-                expected_consumers=len(member.analyses),
-            )
+            # no-buffering check fires here if the protocol were broken.
+            # Dropped (degraded) analyses no longer count as consumers.
+            active = len(member.analyses) - (len(dropped) if dropped else 0)
+            if active > 0:
+                chunk = Chunk(
+                    key=ChunkKey(producer=sim.name, step=step),
+                    payload=np.array([float(step), t3], dtype=np.float64),
+                    metadata={"member": member.name},
+                )
+                dtl.stage(
+                    chunk,
+                    producer_node=sim.node,
+                    expected_consumers=active,
+                )
         written[step].succeed(step)
 
 
@@ -242,53 +329,108 @@ def _analysis_process(
     read_done: List[List[Event]],
     dtl: Optional[DataTransportLayer] = None,
     nics=None,
+    injector: Optional[FaultInjector] = None,
+    dropped: Optional[Set[str]] = None,
 ):
     """R -> A -> I^A per step; R_i gated on W_i."""
     ana = member.analyses[index]
+    sim_name = member.simulation.name
+    step_time = ana.io_time + ana.compute_time
     nic = (
         nics.get(ana.producer_node)
         if nics is not None and ana.transport_time > 0
         else None
     )
-    for step in range(member.n_steps):
-        wait_start = env.now
-        if not written[step].triggered:
-            yield written[step]
-        t1 = env.now
-        if step > 0:
-            # the wait that just ended is the *previous* step's I^A
-            tracer.record(ana.name, Stage.ANA_IDLE, step - 1, wait_start, t1)
 
-        if nic is None:
-            yield env.timeout(rng.uniform_jitter(ana.io_time, noise))
-        else:
-            # local share first (marshal + copy), then the network
-            # transport holding the producer's NIC
-            local_share = ana.io_time - ana.transport_time
-            if local_share > 0:
-                yield env.timeout(rng.uniform_jitter(local_share, noise))
-            req = nic.request(1)
-            yield req
-            yield env.timeout(rng.uniform_jitter(ana.transport_time, noise))
-            nic.release(req)
-        t2 = env.now
-        tracer.record(ana.name, Stage.ANA_READ, step, t1, t2)
-        if dtl is not None:
-            chunk = dtl.retrieve(
-                ChunkKey(producer=member.simulation.name, step=step),
-                consumer=ana.name,
-            )
-            if int(chunk.payload[0]) != step:  # pragma: no cover
-                raise ProtocolError(
-                    f"{ana.name} read step {int(chunk.payload[0])} "
-                    f"while expecting {step}"
+    def read_body(scale: float) -> Generator:
+        # local share first (marshal + copy), then the network
+        # transport holding the producer's NIC
+        local_share = ana.io_time - ana.transport_time
+        if local_share > 0:
+            yield env.timeout(rng.uniform_jitter(local_share, noise) * scale)
+        req = nic.request(1)
+        yield req
+        yield env.timeout(rng.uniform_jitter(ana.transport_time, noise) * scale)
+        nic.release(req)
+
+    try:
+        for step in range(member.n_steps):
+            wait_start = env.now
+            if not written[step].triggered:
+                yield written[step]
+            t1 = env.now
+            if step > 0:
+                # the wait that just ended is the *previous* step's I^A
+                tracer.record(
+                    ana.name, Stage.ANA_IDLE, step - 1, wait_start, t1
                 )
-        read_done[step][index].succeed(step)
 
-        yield env.timeout(rng.uniform_jitter(ana.compute_time, noise))
-        t3 = env.now
-        tracer.record(ana.name, Stage.ANA_COMPUTE, step, t2, t3)
-    # the final step has no subsequent write to wait for
-    tracer.record(
-        ana.name, Stage.ANA_IDLE, member.n_steps - 1, env.now, env.now
-    )
+            if nic is None:
+                read_duration = rng.uniform_jitter(ana.io_time, noise)
+                body = None
+            else:
+                read_duration = ana.io_time
+                body = read_body
+            try:
+                yield from _stage(
+                    env, injector, member.name, ana.name, "R", step,
+                    read_duration, step_time, producer=sim_name, body=body,
+                )
+            except AnalysisDropped:
+                tracer.record(ana.name, Stage.ANA_READ, step, t1, env.now)
+                raise
+            t2 = env.now
+            tracer.record(ana.name, Stage.ANA_READ, step, t1, t2)
+            if dtl is not None:
+                chunk = dtl.retrieve(
+                    ChunkKey(producer=sim_name, step=step),
+                    consumer=ana.name,
+                )
+                if int(chunk.payload[0]) != step:  # pragma: no cover
+                    raise ProtocolError(
+                        f"member {member.name!r}: {ana.name} read step "
+                        f"{int(chunk.payload[0])} while expecting {step}"
+                    )
+            read_done[step][index].succeed(step)
+
+            try:
+                yield from _stage(
+                    env, injector, member.name, ana.name, "A", step,
+                    rng.uniform_jitter(ana.compute_time, noise), step_time,
+                )
+            except AnalysisDropped:
+                tracer.record(ana.name, Stage.ANA_COMPUTE, step, t2, env.now)
+                raise
+            t3 = env.now
+            tracer.record(ana.name, Stage.ANA_COMPUTE, step, t2, t3)
+        # the final step has no subsequent write to wait for
+        tracer.record(
+            ana.name, Stage.ANA_IDLE, member.n_steps - 1, env.now, env.now
+        )
+    except AnalysisDropped:
+        _retire_analysis(member, index, read_done, dtl, dropped)
+
+
+def _retire_analysis(
+    member: EffectiveMember,
+    index: int,
+    read_done: List[List[Event]],
+    dtl: Optional[DataTransportLayer],
+    dropped: Optional[Set[str]],
+) -> None:
+    """Release a dropped analysis from the member's coupling protocol.
+
+    The degraded analysis stops gating the simulation: every pending
+    read barrier it owned is released, and the DTL forgets it as a
+    consumer (so already-staged chunks can be reclaimed and future
+    stagings expect one fewer reader).
+    """
+    ana = member.analyses[index]
+    if dropped is not None:
+        dropped.add(ana.name)
+    if dtl is not None:
+        dtl.forget_consumer(member.simulation.name, ana.name)
+    for events in read_done:
+        event = events[index]
+        if not event.triggered:
+            event.succeed(None)

@@ -15,7 +15,7 @@ into:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.efficiency import computational_efficiency
 from repro.core.indicators import (
@@ -47,6 +47,9 @@ from repro.runtime.spec import EnsembleSpec
 from repro.util.errors import ValidationError
 from repro.util.rng import RandomSource
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultLog
+
 
 @dataclass(frozen=True)
 class MemberResult:
@@ -70,6 +73,8 @@ class ExecutionResult:
     component_metrics: Dict[str, ComponentMetrics]
     counters: Dict[str, HardwareCounters]
     ensemble: EnsembleMetrics
+    #: fault record of the run (None when executed without injection)
+    fault_log: Optional["FaultLog"] = None
 
     @property
     def member_makespans(self) -> Dict[str, float]:
@@ -125,6 +130,7 @@ def build_result(
     cluster: Cluster,
     seed: Optional[int] = 0,
     noise: float = 0.0,
+    fault_log: Optional["FaultLog"] = None,
 ) -> ExecutionResult:
     """Assemble the :class:`ExecutionResult` for a finished run."""
     if len(effective) != spec.num_members:
@@ -190,4 +196,5 @@ def build_result(
         component_metrics=metrics,
         counters=counters,
         ensemble=ensemble_makespan(member_metrics),
+        fault_log=fault_log,
     )

@@ -5,6 +5,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.dtl.base import DataTransportLayer
+from repro.faults.models import FailureModel
+from repro.faults.recovery import RecoveryPolicy
 from repro.platform.cluster import Cluster
 from repro.runtime.executor import EnsembleExecutor
 from repro.runtime.placement import EnsemblePlacement
@@ -21,6 +23,8 @@ def run_ensemble(
     timing_noise: float = 0.0,
     allow_oversubscription: bool = False,
     stage_real_chunks: bool = False,
+    failure_model: Optional[FailureModel] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> ExecutionResult:
     """Execute ``spec`` under ``placement`` and return the results.
 
@@ -46,4 +50,6 @@ def run_ensemble(
         timing_noise=timing_noise,
         allow_oversubscription=allow_oversubscription,
         stage_real_chunks=stage_real_chunks,
+        failure_model=failure_model,
+        recovery=recovery,
     ).run()

@@ -13,7 +13,11 @@ under resource constraints." This subpackage implements that program:
 - :mod:`repro.scheduler.planner` — the resource-constrained planner:
   given an ensemble and a node budget, pick analysis core counts (via
   the §3.4 heuristic) and a placement (via a policy), returning a
-  ready-to-run plan.
+  ready-to-run plan;
+- :mod:`repro.scheduler.robust` — robust scoring: F(P) evaluated by
+  executing candidates under a fault-injection model
+  (:mod:`repro.faults`) and a recovery policy, for ranking placements
+  by how well they hold up when components crash or straggle.
 
 The key empirical result (asserted in
 ``benchmarks/test_bench_scheduler.py``): the indicator-guided greedy
@@ -35,6 +39,12 @@ from repro.scheduler.policies import (
     SchedulingPolicy,
 )
 from repro.scheduler.planner import Plan, ResourceConstrainedPlanner
+from repro.scheduler.robust import (
+    RobustScore,
+    crash_straggler_factory,
+    rank_placements_robust,
+    robust_score_placement,
+)
 
 __all__ = [
     "ExhaustiveSearchPolicy",
@@ -43,8 +53,12 @@ __all__ = [
     "Plan",
     "RandomPolicy",
     "ResourceConstrainedPlanner",
+    "RobustScore",
     "RoundRobinPolicy",
     "SchedulingPolicy",
     "SimulatedAnnealingPolicy",
+    "crash_straggler_factory",
+    "rank_placements_robust",
+    "robust_score_placement",
     "score_placement",
 ]

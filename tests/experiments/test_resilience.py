@@ -1,0 +1,75 @@
+"""Tests for the resilience sweep experiment."""
+
+import pytest
+
+from repro.experiments.resilience import run_resilience
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_resilience(
+        config_names=("C1.4", "C1.5"),
+        rates=(0.05, 0.2),
+        policies=("retry", "degrade"),
+        trials=1,
+        n_steps=4,
+    )
+
+
+class TestRunResilience:
+    def test_shape(self, result):
+        assert result.experiment_id == "resilience"
+        assert result.columns == [
+            "config",
+            "rate",
+            "policy",
+            "F_ideal",
+            "F_robust",
+            "inflation",
+            "goodput",
+            "rank",
+        ]
+        # one row per (config, rate, policy)
+        assert len(result.rows) == 2 * 2 * 2
+
+    def test_ranks_are_dense_within_cells(self, result):
+        for rate in (0.05, 0.2):
+            for policy in ("retry", "degrade"):
+                cell = [
+                    r
+                    for r in result.rows
+                    if r["rate"] == rate and r["policy"] == policy
+                ]
+                assert sorted(r["rank"] for r in cell) == [1, 2]
+                ranked = sorted(cell, key=lambda r: r["rank"])
+                robusts = [r["F_robust"] for r in ranked]
+                assert robusts == sorted(robusts, reverse=True)
+
+    def test_objectives_positive_and_bounded(self, result):
+        for row in result.rows:
+            assert row["F_ideal"] > 0
+            assert row["F_robust"] > 0
+            assert row["inflation"] >= 1.0 or row["inflation"] > 0
+            assert row["goodput"] > 0
+
+    def test_to_text_renders(self, result):
+        text = result.to_text()
+        assert "resilience" in text
+        assert "C1.5" in text
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValidationError, match="unknown configurations"):
+            run_resilience(config_names=("C1.5", "C9.9"), trials=1)
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ValidationError):
+            run_resilience(rates=(), trials=1)
+
+    def test_empty_policies_rejected(self):
+        with pytest.raises(ValidationError):
+            run_resilience(policies=(), trials=1)
+
+    def test_trials_validated(self):
+        with pytest.raises(ValidationError):
+            run_resilience(trials=0)

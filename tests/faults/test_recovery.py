@@ -1,0 +1,105 @@
+"""Tests for the recovery policies."""
+
+import pytest
+
+from repro.faults.injector import StageContext
+from repro.faults.recovery import (
+    POLICY_NAMES,
+    CheckpointRestartPolicy,
+    DropAnalysisPolicy,
+    RecoveryAction,
+    RetryBackoffPolicy,
+    make_policy,
+)
+from repro.util.errors import ValidationError
+
+
+def _ctx(stage="S", step=3, step_time=4.0):
+    return StageContext(
+        member="em1",
+        component="em1.sim" if stage in ("S", "W") else "em1.ana1",
+        stage=stage,
+        step=step,
+        duration=2.0,
+        step_time=step_time,
+    )
+
+
+class TestRecoveryAction:
+    def test_valid_modes(self):
+        for mode in ("retry", "restart", "drop"):
+            RecoveryAction(mode, 0.0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            RecoveryAction("panic", 0.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValidationError):
+            RecoveryAction("retry", -1.0)
+
+
+class TestRetryBackoffPolicy:
+    def test_exponential_growth(self):
+        policy = RetryBackoffPolicy(base_delay=1.0, factor=2.0, max_delay=100)
+        delays = [policy.on_crash(_ctx(), a).delay for a in range(4)]
+        assert delays == [1.0, 2.0, 4.0, 8.0]
+
+    def test_capped_at_max_delay(self):
+        policy = RetryBackoffPolicy(base_delay=1.0, factor=2.0, max_delay=3.0)
+        assert policy.on_crash(_ctx(), 10).delay == 3.0
+
+    def test_mode_is_retry(self):
+        assert RetryBackoffPolicy().on_crash(_ctx(), 0).mode == "retry"
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            RetryBackoffPolicy(factor=0.5)
+
+
+class TestCheckpointRestartPolicy:
+    def test_delay_counts_steps_since_checkpoint(self):
+        policy = CheckpointRestartPolicy(period=5, restart_latency=2.0)
+        action = policy.on_crash(_ctx(step=7, step_time=4.0), 0)
+        assert action.mode == "restart"
+        # 7 % 5 = 2 lost steps at 4 s each, plus the restart latency
+        assert action.delay == 2.0 + 2 * 4.0
+
+    def test_checkpoint_boundary_costs_only_latency(self):
+        policy = CheckpointRestartPolicy(period=5, restart_latency=2.0)
+        assert policy.on_crash(_ctx(step=5), 0).delay == 2.0
+
+    def test_period_validated(self):
+        with pytest.raises(ValidationError):
+            CheckpointRestartPolicy(period=0)
+
+
+class TestDropAnalysisPolicy:
+    def test_drops_analysis_after_first_step(self):
+        action = DropAnalysisPolicy().on_crash(_ctx(stage="A", step=2), 0)
+        assert action.mode == "drop"
+        assert action.delay == 0.0
+
+    def test_step_zero_falls_back(self):
+        action = DropAnalysisPolicy().on_crash(_ctx(stage="A", step=0), 0)
+        assert action.mode == "retry"
+
+    def test_simulation_crash_falls_back(self):
+        action = DropAnalysisPolicy().on_crash(_ctx(stage="S", step=2), 0)
+        assert action.mode == "retry"
+
+    def test_custom_fallback(self):
+        policy = DropAnalysisPolicy(
+            fallback=CheckpointRestartPolicy(period=3)
+        )
+        assert policy.on_crash(_ctx(stage="S", step=2), 0).mode == "restart"
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_builds_every_named_policy(self, name):
+        assert make_policy(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError, match="unknown recovery policy"):
+            make_policy("pray")

@@ -1,0 +1,149 @@
+"""Tests for the resilience metrics."""
+
+import pytest
+
+from repro.configs.base import build_spec
+from repro.configs.table2 import TABLE2_CONFIGS
+from repro.faults.injector import FaultLog, FaultRecord
+from repro.faults.models import FaultEvent, FaultKind, ScheduledFailureModel
+from repro.faults.recovery import RetryBackoffPolicy
+from repro.monitoring.resilience import (
+    ResilienceMetrics,
+    busy_time,
+    compute_resilience,
+    steps_completed,
+)
+from repro.runtime.runner import run_ensemble
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    spec = build_spec(TABLE2_CONFIGS["C1.5"], n_steps=5)
+    placement = TABLE2_CONFIGS["C1.5"].placement()
+    return spec, placement, run_ensemble(spec, placement, seed=0)
+
+
+def _crash_record(lost=3.0, detected=10.0, recovered=12.0):
+    return FaultRecord(
+        member="em1",
+        component="em1.sim",
+        stage="S",
+        step=1,
+        kind=FaultKind.CRASH,
+        policy="retry",
+        detected=detected,
+        recovered=recovered,
+        lost_work=lost,
+    )
+
+
+class TestTraceHelpers:
+    def test_busy_time_positive(self, baseline):
+        _, _, result = baseline
+        assert busy_time(result.tracer) > 0
+
+    def test_steps_completed_counts_sim_steps(self, baseline):
+        spec, _, result = baseline
+        expected = sum(m.n_steps for m in spec.members)
+        assert steps_completed(result.tracer) == expected
+
+
+class TestComputeResilience:
+    def test_clean_run_against_itself(self, baseline):
+        _, _, result = baseline
+        metrics = compute_resilience(result, result.ensemble_makespan)
+        assert metrics.inflation == 1.0
+        assert metrics.num_faults == 0
+        assert metrics.num_crashes == 0
+        assert metrics.lost_work == 0.0
+        assert metrics.recovery_times == ()
+        assert metrics.goodput > 0
+        assert 0 < metrics.effective_efficiency <= 1.0
+
+    def test_injected_run_shows_the_damage(self, baseline):
+        spec, placement, clean = baseline
+        result = run_ensemble(
+            spec,
+            placement,
+            seed=0,
+            failure_model=ScheduledFailureModel(
+                [
+                    FaultEvent(
+                        member="em1",
+                        component="em1.sim",
+                        step=2,
+                        kind=FaultKind.CRASH,
+                        stage="S",
+                        magnitude=0.5,
+                    )
+                ]
+            ),
+            recovery=RetryBackoffPolicy(base_delay=2.0),
+        )
+        metrics = compute_resilience(result, clean.ensemble_makespan)
+        ideal = compute_resilience(clean, clean.ensemble_makespan)
+        assert metrics.inflation > 1.0
+        assert metrics.num_faults == 1
+        assert metrics.num_crashes == 1
+        assert metrics.lost_work > 0
+        assert metrics.goodput < ideal.goodput
+        assert metrics.effective_efficiency < ideal.effective_efficiency
+        assert metrics.mean_recovery_time >= 2.0
+
+    def test_explicit_fault_log_overrides(self, baseline):
+        _, _, result = baseline
+        log = FaultLog()
+        log.record(_crash_record(lost=5.0))
+        metrics = compute_resilience(
+            result, result.ensemble_makespan, fault_log=log
+        )
+        assert metrics.num_faults == 1
+        assert metrics.lost_work == 5.0
+
+    def test_baseline_makespan_validated(self, baseline):
+        _, _, result = baseline
+        with pytest.raises(ValidationError):
+            compute_resilience(result, 0.0)
+
+
+class TestResilienceMetrics:
+    def _metrics(self, recovery_times=(1.0, 2.0, 9.0)):
+        return ResilienceMetrics(
+            makespan=120.0,
+            baseline_makespan=100.0,
+            steps_completed=10,
+            goodput=10 / 120.0,
+            effective_efficiency=0.7,
+            num_faults=len(recovery_times),
+            num_crashes=1,
+            lost_work=4.0,
+            recovery_times=tuple(recovery_times),
+        )
+
+    def test_inflation(self):
+        assert self._metrics().inflation == pytest.approx(1.2)
+
+    def test_recovery_statistics(self):
+        m = self._metrics()
+        assert m.mean_recovery_time == pytest.approx(4.0)
+        assert m.max_recovery_time == 9.0
+        assert m.recovery_percentile(50) == pytest.approx(2.0)
+
+    def test_empty_recovery_times(self):
+        m = self._metrics(recovery_times=())
+        assert m.mean_recovery_time == 0.0
+        assert m.max_recovery_time == 0.0
+        assert m.recovery_percentile(99) == 0.0
+
+    def test_percentile_validated(self):
+        with pytest.raises(ValidationError):
+            self._metrics().recovery_percentile(101)
+
+    def test_to_text(self):
+        text = self._metrics().to_text()
+        assert "inflation x1.200" in text
+        assert "goodput" in text
+        assert "recovery time" in text
+        # no recovery line when nothing was recovered
+        assert "recovery" not in self._metrics(()).to_text()

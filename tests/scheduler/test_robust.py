@@ -1,0 +1,112 @@
+"""Tests for robust placement scoring under failure models."""
+
+import pytest
+
+from repro.configs.base import build_spec
+from repro.configs.table2 import TABLE2_CONFIGS
+from repro.faults.models import FaultKind, NoFailureModel
+from repro.faults.recovery import RetryBackoffPolicy
+from repro.scheduler.robust import (
+    RobustScore,
+    crash_straggler_factory,
+    rank_placements_robust,
+    robust_score_placement,
+)
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return build_spec(TABLE2_CONFIGS["C1.5"], n_steps=4)
+
+
+class TestRobustScorePlacement:
+    def test_no_failures_matches_ideal(self, spec):
+        score = robust_score_placement(
+            spec,
+            TABLE2_CONFIGS["C1.5"].placement(),
+            lambda seed: NoFailureModel(),
+            RetryBackoffPolicy(),
+            trials=2,
+            name="C1.5",
+        )
+        assert score.objective == pytest.approx(score.ideal_objective)
+        assert score.degradation == pytest.approx(0.0)
+        assert score.mean_inflation == pytest.approx(1.0)
+        assert score.trials == 2
+        assert score.name == "C1.5"
+
+    def test_failures_erode_the_objective(self, spec):
+        score = robust_score_placement(
+            spec,
+            TABLE2_CONFIGS["C1.5"].placement(),
+            crash_straggler_factory(0.3),
+            RetryBackoffPolicy(),
+            trials=2,
+        )
+        assert score.objective < score.ideal_objective
+        assert score.degradation > 0
+        assert score.mean_inflation > 1.0
+
+    def test_trials_validated(self, spec):
+        with pytest.raises(ValidationError):
+            robust_score_placement(
+                spec,
+                TABLE2_CONFIGS["C1.5"].placement(),
+                lambda seed: NoFailureModel(),
+                RetryBackoffPolicy(),
+                trials=0,
+            )
+
+
+class TestRanking:
+    def test_orders_best_first(self, spec):
+        candidates = {
+            name: TABLE2_CONFIGS[name].placement()
+            for name in ("C1.1", "C1.4", "C1.5")
+        }
+        scores = rank_placements_robust(
+            spec,
+            candidates,
+            crash_straggler_factory(0.05),
+            RetryBackoffPolicy(),
+            trials=1,
+        )
+        assert [type(s) for s in scores] == [RobustScore] * 3
+        objectives = [s.objective for s in scores]
+        assert objectives == sorted(objectives, reverse=True)
+        # co-location stays the robust winner at a low rate
+        assert scores[0].name == "C1.5"
+
+
+class TestRobustScoreOrdering:
+    def _score(self, objective, num_nodes=2, inflation=1.0):
+        return RobustScore(
+            name="x",
+            placement=TABLE2_CONFIGS["C1.5"].placement(),
+            objective=objective,
+            ideal_objective=objective,
+            mean_inflation=inflation,
+            mean_goodput=0.1,
+            num_nodes=num_nodes,
+            trials=1,
+        )
+
+    def test_higher_objective_wins(self):
+        assert self._score(0.2) > self._score(0.1)
+
+    def test_fewer_nodes_break_ties(self):
+        assert self._score(0.1, num_nodes=2) > self._score(0.1, num_nodes=3)
+
+    def test_lower_inflation_breaks_remaining_ties(self):
+        assert self._score(0.1, inflation=1.1) > self._score(
+            0.1, inflation=1.5
+        )
+
+
+class TestFactory:
+    def test_factory_seeds_models_independently(self):
+        factory = crash_straggler_factory(0.2, (FaultKind.CRASH,))
+        a, b = factory(1), factory(2)
+        assert a.rate == b.rate == 0.2
+        assert a.seed != b.seed

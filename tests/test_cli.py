@@ -42,6 +42,48 @@ class TestSweep:
     def test_custom_settings(self, capsys):
         assert main(["sweep", "--sim-cores", "8", "--stride", "400"]) == 0
 
+    def test_invalid_settings_exit_one(self, capsys):
+        assert main(["sweep", "--sim-cores", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFaults:
+    def test_injected_run_prints_report(self, capsys):
+        assert (
+            main(["faults", "C1.5", "--rate", "0.2", "--steps", "5",
+                  "--policy", "retry"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "fault log" in out
+        assert "goodput" in out
+        assert "F(P^{U,A,P})" in out
+
+    def test_experiment_mode(self, capsys):
+        assert (
+            main(["faults", "--experiment", "--steps", "3",
+                  "--trials", "1"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "resilience" in out
+        assert "rank" in out
+
+    def test_unknown_configuration_fails(self, capsys):
+        assert main(["faults", "C9.9"]) == 2
+        assert "unknown configuration" in capsys.readouterr().err
+
+    def test_missing_configuration_fails(self, capsys):
+        assert main(["faults"]) == 2
+        assert "required unless --experiment" in capsys.readouterr().err
+
+    def test_unknown_kind_fails(self, capsys):
+        assert main(["faults", "C1.5", "--kinds", "crash,gremlin"]) == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_unknown_policy_rejected_by_argparse(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["faults", "C1.5", "--policy", "pray"])
+        assert exc.value.code == 2
+
 
 class TestPlan:
     def test_plans_and_prints(self, capsys):

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.des",
     "repro.dtl",
     "repro.experiments",
+    "repro.faults",
     "repro.monitoring",
     "repro.platform",
     "repro.runtime",
