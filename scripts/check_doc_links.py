@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Check internal links in the repo's markdown documentation.
+
+Scans ``docs/*.md`` plus the top-level ``README.md`` and ``ROADMAP.md``
+for markdown links ``[text](target)`` and verifies every *internal*
+target:
+
+- a relative file target (``FAULT_MODELS.md``, ``../README.md``) must
+  resolve to an existing file, relative to the linking document;
+- a same-file anchor (``#arrival-processes``) or a ``file.md#anchor``
+  target must match a heading slug in the target document (GitHub
+  slug rules: lowercase, punctuation stripped, spaces to dashes).
+
+External targets (``http://``, ``https://``, ``mailto:``) are ignored.
+Exits 0 when every internal link resolves, 1 otherwise, listing each
+broken link as ``file:line: target — reason``.
+
+Usage:
+    python scripts/check_doc_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: markdown inline link, ignoring images' leading ``!``.
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> List[str]:
+    slugs: List[str] = []
+    in_code = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slugs.append(slugify(match.group(1)))
+    return slugs
+
+
+def iter_links(path: Path) -> List[Tuple[int, str]]:
+    links: List[Tuple[int, str]] = []
+    in_code = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for match in LINK_RE.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def check_file(path: Path) -> List[str]:
+    problems: List[str] = []
+    for lineno, target in iter_links(path):
+        if target.startswith(EXTERNAL):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path}:{lineno}: {target} — file not found"
+                )
+                continue
+        else:
+            resolved = path
+        if anchor and resolved.suffix == ".md":
+            if anchor not in heading_slugs(resolved):
+                problems.append(
+                    f"{path}:{lineno}: {target} — no heading "
+                    f"#{anchor} in {resolved.name}"
+                )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).parent.parent
+    files = sorted((root / "docs").glob("*.md"))
+    for name in ("README.md", "ROADMAP.md"):
+        candidate = root / name
+        if candidate.exists():
+            files.append(candidate)
+    if not files:
+        print(f"no markdown files found under {root}", file=sys.stderr)
+        return 1
+
+    problems: List[str] = []
+    checked = 0
+    for path in files:
+        links = iter_links(path)
+        checked += len(links)
+        problems.extend(check_file(path))
+
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print(
+            f"{len(problems)} broken internal link(s) in {len(files)} "
+            f"file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{checked} links checked across {len(files)} files: all OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

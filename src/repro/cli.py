@@ -9,13 +9,21 @@ Commands
     Regenerate every figure/table of the paper and print the data.
 ``sweep``
     Run the §3.4 analysis-core sweep and print the heuristic's choice.
-``plan --members N --analyses K --nodes M``
-    Run the resource-constrained planner and print the resulting plan.
-``faults <config> [--rate R --policy P --kinds K]``
+``plan --members N --analyses K --nodes M [--robust-rate R]``
+    Run the resource-constrained planner and print the resulting plan;
+    with ``--robust-rate`` the plan is scored with the analytic
+    robustness surrogate (node-level crash domains, weight
+    ``--robust-weight``).
+``faults <config> [--rate R --policy P --kinds K --model M]``
     Execute one configuration under fault injection and print the fault
     log, the resilience metrics, and the ideal-vs-robust objective.
+    ``--model`` picks the failure process (``random``, ``markov``,
+    ``weibull``, ``node``); ``--surrogate`` additionally prints the
+    closed-form surrogate prediction next to the measured metrics.
 ``faults --experiment``
     Run the full resilience sweep (rates x recovery policies) instead.
+``faults --validate``
+    Run the surrogate-vs-DES validation table instead.
 ``list``
     List the available configurations with their placements.
 """
@@ -162,7 +170,18 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             for i in range(args.members)
         ),
     )
-    plan = ResourceConstrainedPlanner().plan(spec, num_nodes=args.nodes)
+    robustness = None
+    if args.robust_rate > 0:
+        from repro.faults.analytic import RobustnessTerm, node_crash_builder
+        from repro.faults.recovery import make_policy
+
+        robustness = RobustnessTerm(
+            policy=make_policy(args.policy),
+            model_builder=node_crash_builder(args.robust_rate),
+            weight=args.robust_weight,
+        )
+    planner = ResourceConstrainedPlanner(robustness=robustness)
+    plan = planner.plan(spec, num_nodes=args.nodes)
     print(
         f"plan: {args.members} members x (16-core sim + "
         f"{args.analyses} x {plan.analysis_cores}-core analyses) on "
@@ -177,11 +196,49 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         f"predicted F(P^{{U,A,P}}) = {plan.score.objective:.6f}, "
         f"ensemble makespan = {plan.score.ensemble_makespan:.1f} s"
     )
+    if robustness is not None:
+        print(
+            f"robustness: node-crash rate {args.robust_rate} x weight "
+            f"{args.robust_weight} -> penalty "
+            f"{plan.score.robust_penalty:.6f}, utility "
+            f"{plan.score.utility:.6f}"
+        )
     return 0
 
 
+def _build_failure_model(args: argparse.Namespace, kinds, placement):
+    """Construct the failure model selected by ``--model``."""
+    from repro.faults import (
+        CorrelatedFailureModel,
+        MarkovModulatedArrivals,
+        NodeFailureModel,
+        RandomFailureModel,
+        WeibullBurstArrivals,
+    )
+
+    if args.model == "markov":
+        # bursty variant centred near --rate: quiet/burst regimes with
+        # a ~1:5 occupancy split
+        process = MarkovModulatedArrivals(
+            quiet_rate=args.rate * 0.2,
+            burst_rate=min(args.rate * 4.0, 1.0),
+            p_enter=0.1,
+            p_exit=0.5,
+        )
+        return CorrelatedFailureModel(process, kinds=kinds, seed=args.seed)
+    if args.model == "weibull":
+        process = WeibullBurstArrivals(
+            mean_gap=max(2.0, 1.0 / max(args.rate, 1e-6)),
+            burst_rate=0.8,
+        )
+        return CorrelatedFailureModel(process, kinds=kinds, seed=args.seed)
+    if args.model == "node":
+        return NodeFailureModel(placement, rate=args.rate, seed=args.seed)
+    return RandomFailureModel(rate=args.rate, kinds=kinds, seed=args.seed)
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
-    from repro.faults import FaultKind, RandomFailureModel, make_policy
+    from repro.faults import FaultKind, make_policy
     from repro.monitoring.resilience import compute_resilience
     from repro.scheduler.objectives import FINAL_STAGE_ORDER
 
@@ -197,9 +254,22 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(result.to_text())
         return 0
 
+    if args.validate:
+        from repro.experiments.resilience import run_surrogate_validation
+
+        result = run_surrogate_validation(
+            policy=args.policy,
+            trials=args.trials,
+            n_steps=args.steps,
+            base_seed=args.seed,
+        )
+        print(result.to_text())
+        return 0
+
     if args.config is None:
         print(
-            "a configuration name is required unless --experiment is given",
+            "a configuration name is required unless --experiment or "
+            "--validate is given",
             file=sys.stderr,
         )
         return 2
@@ -223,6 +293,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
     spec = build_spec(config, n_steps=args.steps)
     placement = config.placement()
+    model = _build_failure_model(args, kinds, placement)
     baseline = run_ensemble(
         spec, placement, seed=args.seed, timing_noise=args.noise
     )
@@ -231,20 +302,27 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         placement,
         seed=args.seed,
         timing_noise=args.noise,
-        failure_model=RandomFailureModel(
-            rate=args.rate, kinds=kinds, seed=args.seed
-        ),
+        failure_model=model,
         recovery=make_policy(args.policy),
     )
     print(
-        f"{args.config} under injection: rate={args.rate}, "
-        f"policy={args.policy}, kinds={args.kinds}"
+        f"{args.config} under injection: model={args.model}, "
+        f"rate={args.rate}, policy={args.policy}, kinds={args.kinds}"
     )
     print()
     print(result.fault_log.summary())
     print()
     metrics = compute_resilience(result, baseline.ensemble_makespan)
     print(metrics.to_text())
+    if args.surrogate:
+        from repro.faults.analytic import surrogate_resilience
+
+        report = surrogate_resilience(
+            spec, placement, model, make_policy(args.policy)
+        )
+        print()
+        print("analytic surrogate prediction:")
+        print(report.to_text())
     ideal = baseline.objective(FINAL_STAGE_ORDER)
     robust = result.objective(FINAL_STAGE_ORDER)
     retained = robust / ideal if ideal > 0 else 1.0
@@ -303,6 +381,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--analyses", type=int, default=1)
     p_plan.add_argument("--nodes", type=int, default=2)
     p_plan.add_argument("--steps", type=int, default=37)
+    p_plan.add_argument(
+        "--robust-rate",
+        type=float,
+        default=0.0,
+        help="node-crash rate for the robustness surrogate "
+        "(0 disables the robustness term)",
+    )
+    p_plan.add_argument(
+        "--robust-weight",
+        type=float,
+        default=1.0,
+        help="weight on the expected-inflation penalty",
+    )
+    p_plan.add_argument(
+        "--policy",
+        choices=list(POLICY_NAMES),
+        default="retry",
+        help="recovery policy priced by the robustness term",
+    )
     p_plan.set_defaults(func=_cmd_plan)
 
     p_faults = sub.add_parser(
@@ -318,9 +415,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the resilience sweep (rates x recovery policies)",
     )
+    p_faults.add_argument(
+        "--validate",
+        action="store_true",
+        help="run the surrogate-vs-DES validation table",
+    )
     p_faults.add_argument("--rate", type=float, default=0.05)
     p_faults.add_argument(
         "--policy", choices=list(POLICY_NAMES), default="retry"
+    )
+    p_faults.add_argument(
+        "--model",
+        choices=("random", "markov", "weibull", "node"),
+        default="random",
+        help="failure process: independent (random), bursty "
+        "(markov/weibull), or node-level crash domains (node)",
+    )
+    p_faults.add_argument(
+        "--surrogate",
+        action="store_true",
+        help="also print the closed-form surrogate prediction",
     )
     p_faults.add_argument(
         "--kinds",

@@ -41,7 +41,10 @@ from repro.experiments.ablation import (
     run_tax_ablation,
 )
 from repro.experiments.heterogeneous import run_heterogeneous
-from repro.experiments.resilience import run_resilience
+from repro.experiments.resilience import (
+    run_resilience,
+    run_surrogate_validation,
+)
 from repro.experiments.scaling import run_scaling
 from repro.experiments.stride import run_stride_sweep
 from repro.experiments.tiers import run_tier_matrix
@@ -63,6 +66,7 @@ __all__ = [
     "run_resilience",
     "run_scaling",
     "run_stride_sweep",
+    "run_surrogate_validation",
     "run_tax_ablation",
     "run_tier_matrix",
 ]

@@ -16,18 +16,29 @@ questions the ideal analysis cannot:
 Columns: ``config, rate, policy, F_ideal, F_robust, inflation,
 goodput, rank`` — ``rank`` orders configurations within one
 ``(rate, policy)`` cell by robust F, best first.
+
+A second experiment, :func:`run_surrogate_validation`, validates the
+closed-form robustness surrogate (:mod:`repro.faults.analytic`)
+against DES trials: for every (config, rate) cell it tabulates the
+surrogate's expected inflation, the DES mean inflation, and their
+relative error — the table reproduced in ``docs/FAULT_MODELS.md``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from repro.configs.base import build_spec
 from repro.configs.table2 import TABLE2_CONFIGS
 from repro.configs.table4 import TABLE4_CONFIGS
 from repro.experiments.base import ExperimentResult
-from repro.faults.models import FaultKind
+from repro.faults.analytic import surrogate_resilience
+from repro.faults.models import FaultKind, RandomFailureModel
 from repro.faults.recovery import POLICY_NAMES, make_policy
+from repro.monitoring.resilience import surrogate_agreement
+from repro.runtime.executor import EnsembleExecutor
 from repro.scheduler.robust import (
     crash_straggler_factory,
     robust_score_placement,
@@ -131,5 +142,105 @@ def run_resilience(
             f"{trials} fault-schedule draws per cell, {n_steps} steps, "
             f"kinds={'+'.join(k.value for k in DEFAULT_KINDS)}; rank is "
             "within each (rate, policy) cell, best robust F first"
+        ),
+    )
+
+
+#: configurations validated by :func:`run_surrogate_validation`.
+VALIDATION_CONFIGS = ("C1.1", "C1.4", "C2.1")
+#: rate grid for the surrogate validation (spans rare to frequent).
+VALIDATION_RATES = (0.01, 0.05, 0.10)
+
+
+def run_surrogate_validation(
+    config_names: Sequence[str] = VALIDATION_CONFIGS,
+    rates: Sequence[float] = VALIDATION_RATES,
+    policy: str = "retry",
+    trials: int = 4,
+    n_steps: int = 12,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Validate the analytic surrogate against DES inflation.
+
+    For every (config, rate) cell: the surrogate's expected makespan
+    inflation, the mean inflation over ``trials`` independent DES
+    fault draws, and their relative error
+    (:func:`~repro.monitoring.resilience.surrogate_agreement`). Only
+    crash faults are injected — the kind every recovery policy
+    handles — so the table isolates the surrogate's slack-absorption
+    and recovery-delay model.
+
+    Columns: ``config, rate, inflation_surrogate, inflation_des,
+    rel_error``.
+    """
+    require_positive_int("trials", trials)
+    require_positive_int("n_steps", n_steps)
+    if not rates:
+        raise ValidationError("at least one failure rate required")
+    all_configs = {**TABLE2_CONFIGS, **TABLE4_CONFIGS}
+    unknown = [n for n in config_names if n not in all_configs]
+    if unknown:
+        raise ValidationError(
+            f"unknown configurations {unknown}; valid: {sorted(all_configs)}"
+        )
+
+    rows: List[Dict] = []
+    for ci, name in enumerate(config_names):
+        config = all_configs[name]
+        spec = build_spec(config, n_steps=n_steps)
+        placement = config.placement()
+        for ri, rate in enumerate(rates):
+            report = surrogate_resilience(
+                spec,
+                placement,
+                RandomFailureModel(
+                    rate=rate, kinds=(FaultKind.CRASH,), seed=0
+                ),
+                make_policy(policy),
+            )
+            baseline = EnsembleExecutor(spec, placement).run()
+            inflations = []
+            for t in range(trials):
+                result = EnsembleExecutor(
+                    spec,
+                    placement,
+                    failure_model=RandomFailureModel(
+                        rate=rate,
+                        kinds=(FaultKind.CRASH,),
+                        seed=base_seed + 1009 * ci + 101 * ri + t,
+                    ),
+                    recovery=make_policy(policy),
+                ).run()
+                inflations.append(
+                    result.ensemble_makespan / baseline.ensemble_makespan
+                )
+            des_inflation = float(np.mean(inflations))
+            rows.append(
+                {
+                    "config": name,
+                    "rate": rate,
+                    "inflation_surrogate": report.expected_inflation,
+                    "inflation_des": des_inflation,
+                    "rel_error": surrogate_agreement(
+                        report.expected_inflation, inflations
+                    ),
+                }
+            )
+
+    return ExperimentResult(
+        experiment_id="surrogate-validation",
+        title="analytic robustness surrogate vs DES inflation",
+        columns=[
+            "config",
+            "rate",
+            "inflation_surrogate",
+            "inflation_des",
+            "rel_error",
+        ],
+        rows=rows,
+        notes=(
+            f"{trials} DES fault draws per cell, {n_steps} steps, "
+            f"crash faults only, policy={policy!r}; rel_error = "
+            "|surrogate - mean(DES)| / mean(DES)"
         ),
     )

@@ -7,13 +7,20 @@ beyond that model so placements can be ranked by *robust* F(P):
 - :mod:`repro.faults.models` — seeded, deterministic failure models
   (component crash, straggler, transient stall, DTL chunk
   loss/corruption) expressed as schedules over
-  ``(member, component, step)``;
+  ``(member, component, step)``, plus node-level fault domains
+  (:class:`NodeFailureModel`) and correlated/bursty arrival processes
+  (Markov-modulated, Weibull-burst);
 - :mod:`repro.faults.injector` — the injection hook the executor
   routes every timed stage through; zero-failure injection reproduces
   the baseline trace byte for byte;
 - :mod:`repro.faults.recovery` — recovery policies
-  (retry-with-backoff, checkpoint restart, degrade-by-dropping) the
-  scheduler can consume.
+  (retry-with-backoff, checkpoint restart, degrade-by-dropping, and
+  the budget-driven adaptive switch) the scheduler can consume;
+- :mod:`repro.faults.analytic` — the closed-form robustness surrogate:
+  expected makespan inflation and effective efficiency under a hazard
+  profile + recovery policy, cheap enough for the planner's inner
+  search loop (validated against DES trials — see
+  ``docs/FAULT_MODELS.md``).
 
 Resilience metrics over injected runs live in
 :mod:`repro.monitoring.resilience`; robust placement scoring in
@@ -28,18 +35,31 @@ from repro.faults.injector import (
     FaultRecord,
     StageContext,
 )
+from repro.faults.analytic import (
+    RobustnessTerm,
+    SurrogateReport,
+    surrogate_resilience,
+)
 from repro.faults.models import (
     CHUNK_KINDS,
+    ArrivalProcess,
+    BernoulliArrivals,
+    CorrelatedFailureModel,
     FailureModel,
     FaultEvent,
     FaultKind,
     FaultSchedule,
+    HazardProfile,
+    MarkovModulatedArrivals,
+    NodeFailureModel,
     NoFailureModel,
     RandomFailureModel,
     ScheduledFailureModel,
+    WeibullBurstArrivals,
 )
 from repro.faults.recovery import (
     POLICY_NAMES,
+    AdaptiveRecoveryPolicy,
     CheckpointRestartPolicy,
     DropAnalysisPolicy,
     RecoveryAction,
@@ -49,9 +69,13 @@ from repro.faults.recovery import (
 )
 
 __all__ = [
+    "AdaptiveRecoveryPolicy",
     "AnalysisDropped",
+    "ArrivalProcess",
+    "BernoulliArrivals",
     "CHUNK_KINDS",
     "CheckpointRestartPolicy",
+    "CorrelatedFailureModel",
     "DropAnalysisPolicy",
     "FailureModel",
     "FaultEvent",
@@ -60,13 +84,20 @@ __all__ = [
     "FaultLog",
     "FaultRecord",
     "FaultSchedule",
+    "HazardProfile",
+    "MarkovModulatedArrivals",
     "NoFailureModel",
+    "NodeFailureModel",
     "POLICY_NAMES",
     "RandomFailureModel",
     "RecoveryAction",
     "RecoveryPolicy",
     "RetryBackoffPolicy",
+    "RobustnessTerm",
     "ScheduledFailureModel",
     "StageContext",
+    "SurrogateReport",
+    "WeibullBurstArrivals",
     "make_policy",
+    "surrogate_resilience",
 ]

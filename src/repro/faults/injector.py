@@ -177,6 +177,9 @@ class FaultInjector:
             )
         self.schedule = schedule
         self.policy = policy or RetryBackoffPolicy()
+        # one injector == one DES run: stateful policies (adaptive
+        # budget tracking) reset here so instances can be reused.
+        self.policy.on_run_start()
         self.log = log or FaultLog()
 
     def execute(

@@ -15,9 +15,17 @@ and the virtual-time delay the crashed component pays before resuming:
   run; the simulation stops waiting on it (analyses only — simulation
   crashes fall back to retry).
 
+:class:`AdaptiveRecoveryPolicy` composes these: it spends a
+recovery-time *budget* on a primary policy (retry by default) and
+switches to degrade once the budget is exhausted, making the degrade
+path scheduler-driven rather than static.
+
 Policies are plain value objects the scheduler can consume: robust
 placement scoring (:mod:`repro.scheduler.robust`) takes a policy
-instance and evaluates F(P) under it.
+instance and evaluates F(P) under it, and the analytic surrogate
+(:mod:`repro.faults.analytic`) prices each policy's expected crash
+delay in closed form. The full reference lives in
+``docs/FAULT_MODELS.md``.
 """
 
 from __future__ import annotations
@@ -33,12 +41,31 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import StageContext
 
 #: CLI / experiment names of the built-in policies.
-POLICY_NAMES: Tuple[str, ...] = ("retry", "restart", "degrade")
+POLICY_NAMES: Tuple[str, ...] = ("retry", "restart", "degrade", "adaptive")
 
 
 @dataclass(frozen=True)
 class RecoveryAction:
-    """The injector's marching orders after one crash."""
+    """The injector's marching orders after one crash.
+
+    Parameters
+    ----------
+    mode:
+        One of ``"retry"``, ``"restart"``, ``"drop"``.
+    delay:
+        Virtual seconds the crashed component pays before resuming
+        (must be >= 0; ignored for ``"drop"``).
+
+    Raises
+    ------
+    ValidationError
+        On an unknown mode or a negative delay.
+
+    Examples
+    --------
+    >>> RecoveryAction("retry", 0.5).delay
+    0.5
+    """
 
     mode: str  # "retry" | "restart" | "drop"
     delay: float  # virtual seconds before the component resumes
@@ -57,7 +84,30 @@ class RecoveryPolicy(abc.ABC):
 
     @abc.abstractmethod
     def on_crash(self, ctx: "StageContext", attempt: int) -> RecoveryAction:
-        """React to the ``attempt``-th (0-based) crash at one site."""
+        """React to the ``attempt``-th (0-based) crash at one site.
+
+        Parameters
+        ----------
+        ctx:
+            The stage being executed when the crash fired (component,
+            stage code, step, durations).
+        attempt:
+            How many crashes this site has already suffered in the
+            current stage instance (0 for the first).
+
+        Returns
+        -------
+        RecoveryAction
+            The recovery mode and the virtual-time delay to pay.
+        """
+
+    def on_run_start(self) -> None:
+        """Reset per-run state (called once per injector construction).
+
+        Stateless policies need not override this; stateful ones
+        (:class:`AdaptiveRecoveryPolicy`) reset their counters here so
+        one policy instance can score many trials without leakage.
+        """
 
 
 class RetryBackoffPolicy(RecoveryPolicy):
@@ -66,6 +116,27 @@ class RetryBackoffPolicy(RecoveryPolicy):
     ``delay = min(base_delay * factor**attempt, max_delay)`` — retries
     are unbounded but the backoff is capped, so any finite fault
     schedule terminates.
+
+    Parameters
+    ----------
+    base_delay:
+        Delay of the first retry, in virtual seconds (>= 0).
+    factor:
+        Backoff multiplier per attempt (>= 1).
+    max_delay:
+        Cap on the delay, in virtual seconds (>= 0).
+
+    Raises
+    ------
+    ValidationError
+        On a negative delay or a factor below 1.
+
+    Examples
+    --------
+    >>> policy = RetryBackoffPolicy(base_delay=1.0, factor=2.0,
+    ...                             max_delay=5.0)
+    >>> [policy.on_crash(None, attempt).delay for attempt in range(4)]
+    [1.0, 2.0, 4.0, 5.0]
     """
 
     name = "retry"
@@ -99,6 +170,29 @@ class CheckpointRestartPolicy(RecoveryPolicy):
     per-step rate (``ctx.step_time``); the crashed stage itself is then
     re-run. Smaller periods recover faster but a real system would pay
     more checkpoint I/O — the trade-off this policy exists to study.
+
+    Parameters
+    ----------
+    period:
+        Checkpoint period in completed in situ steps (>= 1).
+    restart_latency:
+        Fixed restart cost in virtual seconds (>= 0).
+
+    Raises
+    ------
+    ValidationError
+        On a non-positive period or negative latency.
+
+    Examples
+    --------
+    A crash at step 7 with period 5 loses ``7 mod 5 = 2`` steps:
+
+    >>> from repro.faults.injector import StageContext
+    >>> ctx = StageContext("em1", "em1.sim", "S", step=7,
+    ...                    duration=2.0, step_time=3.0)
+    >>> CheckpointRestartPolicy(period=5,
+    ...                         restart_latency=2.0).on_crash(ctx, 0).delay
+    8.0
     """
 
     name = "restart"
@@ -124,6 +218,24 @@ class DropAnalysisPolicy(RecoveryPolicy):
     ``fallback`` policy (retry-with-backoff by default). A dropped
     analysis stops gating the simulation's write barrier, trading
     analysis coverage for ensemble progress.
+
+    Parameters
+    ----------
+    fallback:
+        Policy consulted for crashes this policy cannot drop
+        (defaults to :class:`RetryBackoffPolicy`).
+
+    Examples
+    --------
+    >>> from repro.faults.injector import StageContext
+    >>> ana = StageContext("em1", "em1.ana1", "A", step=3,
+    ...                    duration=1.0, step_time=2.0)
+    >>> DropAnalysisPolicy().on_crash(ana, 0).mode
+    'drop'
+    >>> sim = StageContext("em1", "em1.sim", "S", step=3,
+    ...                    duration=1.0, step_time=2.0)
+    >>> DropAnalysisPolicy().on_crash(sim, 0).mode
+    'retry'
     """
 
     name = "degrade"
@@ -137,14 +249,124 @@ class DropAnalysisPolicy(RecoveryPolicy):
         return self.fallback.on_crash(ctx, attempt)
 
 
+class AdaptiveRecoveryPolicy(RecoveryPolicy):
+    """Budgeted recovery: retry while affordable, degrade afterwards.
+
+    Tracks the cumulative recovery delay spent during the run. While
+    the total stays below ``budget`` (virtual seconds), crashes are
+    delegated to the ``primary`` policy (retry-with-backoff by
+    default); once the budget is exhausted the policy switches to the
+    ``degraded`` policy (drop-analysis by default), so the scheduler —
+    not a static configuration — decides *when* the run starts trading
+    analysis coverage for forward progress. This is ROADMAP's
+    "switch retry→degrade when the recovery-time budget is exhausted".
+
+    The spent counter resets at every injector construction (one per
+    DES run) via :meth:`RecoveryPolicy.on_run_start`, so a single
+    instance can score many robust trials without state leaking
+    between them.
+
+    Parameters
+    ----------
+    budget:
+        Total recovery delay the run may spend before degrading, in
+        virtual seconds (>= 0; 0 degrades immediately).
+    primary:
+        Policy used while under budget (default retry-with-backoff).
+    degraded:
+        Policy used once the budget is exhausted (default
+        drop-analysis falling back to ``primary`` for simulations).
+
+    Raises
+    ------
+    ValidationError
+        On a negative budget.
+
+    Examples
+    --------
+    >>> from repro.faults.injector import StageContext
+    >>> policy = AdaptiveRecoveryPolicy(budget=1.0)
+    >>> ana = StageContext("em1", "em1.ana1", "A", step=2,
+    ...                    duration=1.0, step_time=2.0)
+    >>> policy.on_crash(ana, 0).mode  # under budget: primary retries
+    'retry'
+    >>> policy.spent = 1.0            # budget exhausted
+    >>> policy.on_crash(ana, 1).mode
+    'drop'
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        budget: float = 20.0,
+        primary: Optional[RecoveryPolicy] = None,
+        degraded: Optional[RecoveryPolicy] = None,
+    ) -> None:
+        require_non_negative("budget", budget)
+        self.budget = budget
+        self.primary = primary or RetryBackoffPolicy()
+        self.degraded = degraded or DropAnalysisPolicy(fallback=self.primary)
+        self.spent = 0.0
+
+    def on_run_start(self) -> None:
+        self.spent = 0.0
+        self.primary.on_run_start()
+        self.degraded.on_run_start()
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the recovery-time budget has been used up."""
+        return self.spent >= self.budget
+
+    def on_crash(self, ctx: "StageContext", attempt: int) -> RecoveryAction:
+        chosen = self.degraded if self.exhausted else self.primary
+        action = chosen.on_crash(ctx, attempt)
+        self.spent += action.delay
+        return action
+
+
 def make_policy(name: str) -> RecoveryPolicy:
-    """Instantiate a built-in policy by its CLI name."""
-    if name == "retry":
-        return RetryBackoffPolicy()
-    if name == "restart":
-        return CheckpointRestartPolicy()
-    if name == "degrade":
-        return DropAnalysisPolicy()
-    raise ValidationError(
-        f"unknown recovery policy {name!r}; valid: {list(POLICY_NAMES)}"
-    )
+    """Instantiate a built-in policy by its CLI name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`POLICY_NAMES` — ``"retry"``, ``"restart"``,
+        ``"degrade"``, or ``"adaptive"``.
+
+    Returns
+    -------
+    RecoveryPolicy
+        A fresh policy instance with default parameters.
+
+    Raises
+    ------
+    ValidationError
+        (a ``ValueError`` subclass) naming the unknown policy and
+        listing every valid name, so a typo on the CLI or in an
+        experiment config fails with an actionable message.
+
+    Examples
+    --------
+    >>> make_policy("adaptive").name
+    'adaptive'
+    >>> make_policy("pray")
+    Traceback (most recent call last):
+        ...
+    repro.util.errors.ValidationError: unknown recovery policy 'pray'; \
+valid names: 'adaptive', 'degrade', 'restart', 'retry'
+    """
+    factories = {
+        "retry": RetryBackoffPolicy,
+        "restart": CheckpointRestartPolicy,
+        "degrade": DropAnalysisPolicy,
+        "adaptive": AdaptiveRecoveryPolicy,
+    }
+    factory = factories.get(name)
+    if factory is None:
+        valid = ", ".join(repr(n) for n in sorted(POLICY_NAMES))
+        raise ValidationError(
+            f"unknown recovery policy {name!r}; valid names: {valid}"
+        )
+    return factory()

@@ -27,6 +27,7 @@ from repro.monitoring.resilience import (
     busy_time,
     compute_resilience,
     steps_completed,
+    surrogate_agreement,
 )
 from repro.monitoring.tracer import Stage, StageRecord, StageTracer
 from repro.monitoring.traceio import (
@@ -54,5 +55,6 @@ __all__ = [
     "save_trace",
     "steps_completed",
     "summary_report",
+    "surrogate_agreement",
     "synthesize_counters",
 ]

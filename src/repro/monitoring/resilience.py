@@ -18,7 +18,7 @@ failure-free baseline into a :class:`ResilienceMetrics` bundle:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,6 +52,8 @@ class ResilienceMetrics:
     num_crashes: int
     lost_work: float  # virtual seconds lost or redone
     recovery_times: Tuple[float, ...]
+    #: components a degrade policy retired during the run.
+    dropped_components: Tuple[str, ...] = ()
 
     @property
     def inflation(self) -> float:
@@ -90,6 +92,11 @@ class ResilienceMetrics:
             f"faults               {self.num_faults:10d}  "
             f"({self.num_crashes} crashes, {self.lost_work:.2f} s lost)",
         ]
+        if self.dropped_components:
+            lines.append(
+                f"dropped components   "
+                f"{', '.join(self.dropped_components)}"
+            )
         if self.recovery_times:
             lines.append(
                 f"recovery time        {self.mean_recovery_time:10.2f} s mean, "
@@ -149,4 +156,32 @@ def compute_resilience(
         num_crashes=crashes,
         lost_work=lost,
         recovery_times=tuple(log.recovery_times) if log is not None else (),
+        dropped_components=tuple(log.dropped_components)
+        if log is not None
+        else (),
     )
+
+
+def surrogate_agreement(
+    predicted_inflation: float, observed_inflations: Sequence[float]
+) -> float:
+    """Relative error of a surrogate prediction against DES trials.
+
+    ``|predicted - mean(observed)| / mean(observed)`` — the quantity
+    the surrogate-validation experiment
+    (:func:`repro.experiments.resilience.run_surrogate_validation`)
+    tabulates and the docs' validation table reports.
+
+    Examples
+    --------
+    >>> round(surrogate_agreement(1.10, [1.0, 1.1, 1.2]), 3)
+    0.0
+    """
+    if not observed_inflations:
+        raise ValidationError("observed_inflations must be non-empty")
+    mean_obs = float(np.mean(list(observed_inflations)))
+    if mean_obs <= 0:
+        raise ValidationError(
+            f"observed inflation mean must be > 0, got {mean_obs!r}"
+        )
+    return abs(predicted_inflation - mean_obs) / mean_obs

@@ -17,7 +17,11 @@ under resource constraints." This subpackage implements that program:
 - :mod:`repro.scheduler.robust` — robust scoring: F(P) evaluated by
   executing candidates under a fault-injection model
   (:mod:`repro.faults`) and a recovery policy, for ranking placements
-  by how well they hold up when components crash or straggle.
+  by how well they hold up when components crash or straggle — either
+  from DES trials or from the closed-form surrogate
+  (:mod:`repro.faults.analytic`), which reproduces the DES ranking an
+  order of magnitude faster and can ride inside the planner and the
+  annealer as a :class:`~repro.faults.analytic.RobustnessTerm`.
 
 The key empirical result (asserted in
 ``benchmarks/test_bench_scheduler.py``): the indicator-guided greedy
@@ -40,10 +44,12 @@ from repro.scheduler.policies import (
 )
 from repro.scheduler.planner import Plan, ResourceConstrainedPlanner
 from repro.scheduler.robust import (
+    RANK_METHODS,
     RobustScore,
     crash_straggler_factory,
     rank_placements_robust,
     robust_score_placement,
+    surrogate_score_placement,
 )
 
 __all__ = [
@@ -51,6 +57,7 @@ __all__ = [
     "GreedyIndicatorPolicy",
     "PlacementScore",
     "Plan",
+    "RANK_METHODS",
     "RandomPolicy",
     "ResourceConstrainedPlanner",
     "RobustScore",
@@ -61,4 +68,5 @@ __all__ = [
     "rank_placements_robust",
     "robust_score_placement",
     "score_placement",
+    "surrogate_score_placement",
 ]

@@ -7,7 +7,11 @@ this module provides a classic annealer over the placement space:
 - **state**: a feasible component-to-node assignment;
 - **move**: relocate one uniformly chosen component to a random node
   with capacity (swap-free moves keep feasibility trivially);
-- **energy**: ``-F(P^{U,A,P})`` via the analytic predictor;
+- **energy**: ``-F(P^{U,A,P})`` via the analytic predictor — or, with
+  a :class:`~repro.faults.analytic.RobustnessTerm`, the penalized
+  ``-(F - weight * (E[inflation] - 1))`` so the annealer trades ideal
+  objective against fault-domain fragility (node-level failure models
+  make the penalty placement-dependent: co-location fuses domains);
 - **schedule**: geometric cooling with per-temperature plateaus.
 
 Deterministic given the seed. The tests verify it matches the
@@ -19,8 +23,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.faults.analytic import RobustnessTerm
 from repro.runtime.placement import EnsemblePlacement, MemberPlacement
 from repro.runtime.spec import EnsembleSpec
 from repro.scheduler.objectives import score_placement
@@ -57,6 +62,10 @@ class SimulatedAnnealingPolicy(SchedulingPolicy):
         Moves attempted per temperature.
     min_temperature_ratio:
         Stop when T falls below this fraction of the initial T.
+    robustness:
+        Optional :class:`~repro.faults.analytic.RobustnessTerm`; when
+        given, the annealer maximizes the penalized utility instead of
+        the raw objective.
     """
 
     name = "simulated-annealing"
@@ -68,6 +77,7 @@ class SimulatedAnnealingPolicy(SchedulingPolicy):
         cooling: float = 0.9,
         plateau: int = 100,
         min_temperature_ratio: float = 1e-3,
+        robustness: Optional[RobustnessTerm] = None,
     ) -> None:
         self.rng = RandomSource(seed, name="annealer")
         self.initial_temperature = require_positive(
@@ -81,6 +91,7 @@ class SimulatedAnnealingPolicy(SchedulingPolicy):
         self.min_temperature_ratio = require_positive(
             "min_temperature_ratio", min_temperature_ratio
         )
+        self.robustness = robustness
         self.stats = AnnealingStats()
 
     # -- state helpers --------------------------------------------------------
@@ -145,14 +156,16 @@ class SimulatedAnnealingPolicy(SchedulingPolicy):
             component_cores.extend(a.cores for a in member.analyses)
 
         current = score_placement(
-            spec, self._unflatten(spec, flat, num_nodes)
+            spec,
+            self._unflatten(spec, flat, num_nodes),
+            robustness=self.robustness,
         )
         self.stats.evaluations += 1
         best_flat = list(flat)
         best = current
 
         temperature = self.initial_temperature * max(
-            abs(current.objective), 1e-9
+            abs(current.utility), 1e-9
         )
         floor = temperature * self.min_temperature_ratio
 
@@ -176,14 +189,16 @@ class SimulatedAnnealingPolicy(SchedulingPolicy):
                 demand[new_node] = demand.get(new_node, 0) + cores
 
                 candidate = score_placement(
-                    spec, self._unflatten(spec, flat, num_nodes)
+                    spec,
+                    self._unflatten(spec, flat, num_nodes),
+                    robustness=self.robustness,
                 )
                 self.stats.evaluations += 1
-                delta = candidate.objective - current.objective
+                delta = candidate.utility - current.utility
                 if delta >= 0 or gen.random() < math.exp(delta / temperature):
                     current = candidate
                     self.stats.accepted += 1
-                    if candidate.objective > best.objective:
+                    if candidate.utility > best.utility:
                         best = candidate
                         best_flat = list(flat)
                         self.stats.improved += 1

@@ -5,12 +5,19 @@ paper's objective F over the final-stage indicators (primary), plus the
 predicted ensemble makespan and node count as diagnostics. Scores are
 computed through :func:`repro.runtime.analytic.predict_member_stages`,
 so evaluating a candidate costs microseconds — cheap enough for search.
+
+When a :class:`~repro.faults.analytic.RobustnessTerm` is supplied, the
+analytic robustness surrogate prices the placement's expected failure
+cost and the score's search key becomes
+``utility = F(P) - weight * (E[inflation] - 1)`` — still closed-form,
+so robustness rides inside the search loop instead of re-ranking a
+shortlist afterwards.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.indicators import (
     IndicatorStage,
@@ -19,7 +26,9 @@ from repro.core.indicators import (
 )
 from repro.core.insitu import member_makespan
 from repro.core.objective import objective_function
+from repro.core.stages import MemberStages
 from repro.dtl.base import DataTransportLayer
+from repro.faults.analytic import RobustnessTerm
 from repro.platform.cluster import Cluster
 from repro.platform.specs import make_cori_like_cluster
 from repro.runtime.analytic import predict_member_stages
@@ -37,9 +46,11 @@ FINAL_STAGE_ORDER: Tuple[IndicatorStage, ...] = (
 class PlacementScore:
     """Quality summary of one candidate placement.
 
-    Ordering: scores compare by ``objective`` (higher better), then by
-    fewer nodes, then by lower makespan — so ``max(scores)`` is the
-    scheduler's preference.
+    Ordering: scores compare by :attr:`utility` (the objective minus
+    the robustness penalty; higher better), then by fewer nodes, then
+    by lower makespan — so ``max(scores)`` is the scheduler's
+    preference. Without a robustness term the penalty is 0 and the
+    ordering is the classic failure-free one.
     """
 
     placement: EnsemblePlacement
@@ -47,9 +58,17 @@ class PlacementScore:
     ensemble_makespan: float
     num_nodes: int
     member_indicators: Tuple[float, ...]
+    #: weight * (E[inflation] - 1) from the robustness surrogate
+    #: (0 when scored without a robustness term).
+    robust_penalty: float = 0.0
+
+    @property
+    def utility(self) -> float:
+        """The search target: objective minus the robustness penalty."""
+        return self.objective - self.robust_penalty
 
     def _key(self) -> Tuple[float, int, float]:
-        return (self.objective, -self.num_nodes, -self.ensemble_makespan)
+        return (self.utility, -self.num_nodes, -self.ensemble_makespan)
 
     def __lt__(self, other: "PlacementScore") -> bool:
         return self._key() < other._key()
@@ -69,11 +88,26 @@ def score_placement(
     placement: EnsemblePlacement,
     cluster: Optional[Cluster] = None,
     dtl: Optional[DataTransportLayer] = None,
+    robustness: Optional[RobustnessTerm] = None,
+    stages: Optional[Dict[str, MemberStages]] = None,
 ) -> PlacementScore:
-    """Score one placement via the analytic predictor."""
+    """Score one placement via the analytic predictor.
+
+    With a ``robustness`` term the score additionally carries
+    ``robust_penalty = weight * (E[inflation] - 1)`` from the analytic
+    surrogate, and the score's ordering key becomes
+    ``objective - robust_penalty`` — both terms are closed-form, so
+    the combined evaluation still costs microseconds. Callers that
+    already hold the :func:`~repro.runtime.analytic
+    .predict_member_stages` result for this exact (spec, placement,
+    cluster, dtl) can pass it as ``stages`` to skip re-predicting.
+    """
     if cluster is None:
         cluster = make_cori_like_cluster(placement.num_nodes)
-    stages = predict_member_stages(spec, placement, cluster=cluster, dtl=dtl)
+    if stages is None:
+        stages = predict_member_stages(
+            spec, placement, cluster=cluster, dtl=dtl
+        )
 
     indicators = []
     worst_makespan = 0.0
@@ -92,10 +126,18 @@ def score_placement(
             worst_makespan,
             member_makespan(member_stages, member_spec.n_steps),
         )
+    penalty = 0.0
+    if robustness is not None:
+        # reuse this call's stage prediction — the surrogate needs the
+        # same (spec, placement, cluster, dtl) stages
+        penalty = robustness.penalty(
+            spec, placement, cluster=cluster, dtl=dtl, stages=stages
+        )
     return PlacementScore(
         placement=placement,
         objective=objective_function(indicators),
         ensemble_makespan=worst_makespan,
         num_nodes=placement.num_nodes,
         member_indicators=tuple(indicators),
+        robust_penalty=penalty,
     )

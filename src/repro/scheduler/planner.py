@@ -10,6 +10,12 @@ assumption), a node budget, and a placement policy, the planner:
 4. returns a :class:`Plan` carrying the placement, its score, and the
    provisioning decision — ready to pass to
    :func:`repro.runtime.runner.run_ensemble`.
+
+A :class:`~repro.faults.analytic.RobustnessTerm` makes the plan
+failure-aware: the final score carries the surrogate's expected
+inflation penalty and the returned plan's score orders by
+``objective - penalty`` — so two node budgets (or two policies) can be
+compared on their robust utility without any DES trials.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from typing import Optional, Sequence
 from repro.components.analysis import EigenAnalysisModel
 from repro.core.heuristic import CoreAllocationChoice, choose_analysis_cores
 from repro.core.stages import MemberStages
+from repro.faults.analytic import RobustnessTerm
 from repro.runtime.analytic import predict_member_stages
 from repro.runtime.placement import EnsemblePlacement, MemberPlacement
 from repro.runtime.spec import EnsembleSpec, MemberSpec
@@ -52,17 +59,23 @@ class ResourceConstrainedPlanner:
         Placement policy (defaults to the indicator-guided greedy).
     core_counts:
         Candidate analysis core counts for the §3.4 heuristic.
+    robustness:
+        Optional :class:`~repro.faults.analytic.RobustnessTerm`; when
+        given, the plan's score includes the surrogate's expected
+        inflation penalty (and orders by the penalized utility).
     """
 
     def __init__(
         self,
         policy: Optional[SchedulingPolicy] = None,
         core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+        robustness: Optional[RobustnessTerm] = None,
     ) -> None:
         self.policy = policy or GreedyIndicatorPolicy()
         self.core_counts = list(core_counts)
         if not self.core_counts:
             raise ConfigurationError("core_counts must be non-empty")
+        self.robustness = robustness
 
     def plan(
         self,
@@ -78,7 +91,9 @@ class ResourceConstrainedPlanner:
         sized_spec = self._respec_with_cores(spec, choice.cores)
         placement = self.policy.place(sized_spec, num_nodes, cores_per_node)
         placement = self._compact(placement)
-        score = score_placement(sized_spec, placement)
+        score = score_placement(
+            sized_spec, placement, robustness=self.robustness
+        )
         return Plan(
             spec=sized_spec,
             placement=placement,

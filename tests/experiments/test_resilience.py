@@ -73,3 +73,45 @@ class TestRunResilience:
     def test_trials_validated(self):
         with pytest.raises(ValidationError):
             run_resilience(trials=0)
+
+
+class TestRunSurrogateValidation:
+    @pytest.fixture(scope="class")
+    def validation(self):
+        from repro.experiments.resilience import run_surrogate_validation
+
+        return run_surrogate_validation(
+            config_names=("C1.4", "C2.1"),
+            rates=(0.02, 0.08),
+            trials=2,
+            n_steps=8,
+        )
+
+    def test_shape(self, validation):
+        assert validation.experiment_id == "surrogate-validation"
+        assert validation.columns == [
+            "config",
+            "rate",
+            "inflation_surrogate",
+            "inflation_des",
+            "rel_error",
+        ]
+        assert len(validation.rows) == 2 * 2
+
+    def test_inflations_sane(self, validation):
+        for row in validation.rows:
+            assert row["inflation_surrogate"] >= 1.0
+            assert row["inflation_des"] > 0
+            assert row["rel_error"] >= 0
+
+    def test_unknown_config_rejected(self):
+        from repro.experiments.resilience import run_surrogate_validation
+
+        with pytest.raises(ValidationError, match="unknown configurations"):
+            run_surrogate_validation(config_names=("C9.9",), trials=1)
+
+    def test_empty_rates_rejected(self):
+        from repro.experiments.resilience import run_surrogate_validation
+
+        with pytest.raises(ValidationError):
+            run_surrogate_validation(rates=(), trials=1)

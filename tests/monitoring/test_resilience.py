@@ -147,3 +147,27 @@ class TestResilienceMetrics:
         assert "recovery time" in text
         # no recovery line when nothing was recovered
         assert "recovery" not in self._metrics(()).to_text()
+
+
+class TestSurrogateAgreement:
+    def test_exact_prediction_has_zero_error(self):
+        from repro.monitoring.resilience import surrogate_agreement
+
+        assert surrogate_agreement(1.2, [1.1, 1.3]) == pytest.approx(0.0)
+
+    def test_relative_error(self):
+        from repro.monitoring.resilience import surrogate_agreement
+
+        assert surrogate_agreement(1.1, [1.0]) == pytest.approx(0.1)
+
+    def test_empty_observations_rejected(self):
+        from repro.monitoring.resilience import surrogate_agreement
+
+        with pytest.raises(ValidationError):
+            surrogate_agreement(1.1, [])
+
+    def test_non_positive_mean_rejected(self):
+        from repro.monitoring.resilience import surrogate_agreement
+
+        with pytest.raises(ValidationError):
+            surrogate_agreement(1.1, [0.0])

@@ -1,0 +1,43 @@
+"""Documentation health: internal links resolve (mirrors the CI job).
+
+The CI ``docs`` job runs ``scripts/check_doc_links.py`` and the
+``repro.faults`` doctests; this test keeps the link check in the
+tier-1 suite so a broken cross-reference fails locally too.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def test_internal_doc_links_resolve(capsys):
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    try:
+        from check_doc_links import main
+    finally:
+        sys.path.pop(0)
+    assert main(["check_doc_links", str(REPO_ROOT)]) == 0, (
+        capsys.readouterr().err
+    )
+
+
+def test_fault_models_reference_exists():
+    doc = REPO_ROOT / "docs" / "FAULT_MODELS.md"
+    text = doc.read_text()
+    # the reference documents every model, policy, and the surrogate
+    for needle in (
+        "RandomFailureModel",
+        "CorrelatedFailureModel",
+        "NodeFailureModel",
+        "ScheduledFailureModel",
+        "MarkovModulatedArrivals",
+        "WeibullBurstArrivals",
+        "retry",
+        "restart",
+        "degrade",
+        "adaptive",
+        "Determinism guarantees",
+        "surrogate",
+    ):
+        assert needle in text, f"FAULT_MODELS.md lost section: {needle}"
