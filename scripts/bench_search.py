@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Benchmark the fast placement-search engine against the seed paths.
+
+Two measurements, each with a built-in exactness check:
+
+- **exhaustive**: :func:`repro.search.engine.find_best_placement`
+  (canonical enumeration + stage cache) against the seed loop
+  (product-then-dedup enumerator, per-candidate
+  :func:`~repro.scheduler.objectives.score_placement`). Same winner,
+  same floats, same candidate count — asserted to 1e-12 before any
+  speedup is reported.
+- **annealing**: :class:`~repro.scheduler.annealing
+  .SimulatedAnnealingPolicy` with incremental (delta) evaluation
+  against the same schedule re-scoring every candidate in full.
+  Identical placements and move statistics are asserted.
+
+Writes ``BENCH_search.json`` (exhaustive speedup, annealing speedup,
+problem sizes, floors) and exits non-zero if a floor is missed — so CI
+can run ``python scripts/bench_search.py --quick`` as a regression
+gate. ``--check`` re-validates an existing results file against the
+floors without re-running anything.
+
+Usage:
+    python scripts/bench_search.py [--quick] [--output PATH]
+    python scripts/bench_search.py --check [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.runtime.spec import EnsembleSpec, default_member  # noqa: E402
+from repro.scheduler.annealing import (  # noqa: E402
+    SimulatedAnnealingPolicy,
+)
+from repro.scheduler.objectives import score_placement  # noqa: E402
+from repro.search import find_best_placement  # noqa: E402
+from repro.search.reference import (  # noqa: E402
+    enumerate_placements_reference,
+)
+
+#: required speedups — the regression floors CI enforces.
+EXHAUSTIVE_FLOOR = 10.0
+ANNEALING_FLOOR = 5.0
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_search.json"
+
+CORES_PER_NODE = 32
+
+
+def _exhaustive_spec() -> EnsembleSpec:
+    return EnsembleSpec(
+        "bench-exhaustive",
+        (
+            default_member("em1", num_analyses=2, n_steps=6),
+            default_member("em2", num_analyses=1, n_steps=6),
+            default_member("em3", num_analyses=1, n_steps=6),
+        ),
+    )
+
+
+def _annealing_spec() -> EnsembleSpec:
+    return EnsembleSpec(
+        "bench-annealing",
+        tuple(
+            default_member(
+                f"em{i}", num_analyses=2 if i % 2 else 1, n_steps=6
+            )
+            for i in range(5)
+        ),
+    )
+
+
+def bench_exhaustive(num_nodes: int) -> dict:
+    """Seed search loop vs the canonical+cached engine, one budget."""
+    spec = _exhaustive_spec()
+
+    t0 = time.perf_counter()
+    seed_best = None
+    seed_evaluated = 0
+    for placement in enumerate_placements_reference(
+        spec, num_nodes, CORES_PER_NODE
+    ):
+        score = score_placement(spec, placement)
+        seed_evaluated += 1
+        if seed_best is None or score > seed_best:
+            seed_best = score
+    t_seed = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast_best, fast_evaluated = find_best_placement(
+        spec, num_nodes, CORES_PER_NODE
+    )
+    t_fast = time.perf_counter() - t0
+
+    assert seed_best is not None
+    assert fast_evaluated == seed_evaluated
+    assert fast_best.placement == seed_best.placement
+    assert abs(fast_best.objective - seed_best.objective) <= 1e-12
+    assert (
+        abs(fast_best.ensemble_makespan - seed_best.ensemble_makespan)
+        <= 1e-12
+    )
+
+    return {
+        "num_nodes": num_nodes,
+        "cores_per_node": CORES_PER_NODE,
+        "candidates": seed_evaluated,
+        "seed_seconds": t_seed,
+        "fast_seconds": t_fast,
+        "speedup": t_seed / t_fast,
+        "objective": fast_best.objective,
+    }
+
+
+def bench_annealing(seed: int = 0) -> dict:
+    """Full re-scoring annealer vs the delta-evaluation annealer."""
+    spec = _annealing_spec()
+    num_nodes = 6
+    kwargs = dict(
+        seed=seed, plateau=30, cooling=0.9, min_temperature_ratio=1e-3
+    )
+
+    full = SimulatedAnnealingPolicy(incremental=False, **kwargs)
+    t0 = time.perf_counter()
+    full_placement = full.place(spec, num_nodes, CORES_PER_NODE)
+    t_full = time.perf_counter() - t0
+
+    fast = SimulatedAnnealingPolicy(incremental=True, **kwargs)
+    t0 = time.perf_counter()
+    fast_placement = fast.place(spec, num_nodes, CORES_PER_NODE)
+    t_fast = time.perf_counter() - t0
+
+    assert fast_placement == full_placement
+    assert fast.stats.evaluations == full.stats.evaluations
+    assert fast.stats.accepted == full.stats.accepted
+    assert fast.stats.improved == full.stats.improved
+
+    return {
+        "num_nodes": num_nodes,
+        "cores_per_node": CORES_PER_NODE,
+        "seed": seed,
+        "evaluations": fast.stats.evaluations,
+        "full_seconds": t_full,
+        "incremental_seconds": t_fast,
+        "speedup": t_full / t_fast,
+    }
+
+
+def run(quick: bool) -> dict:
+    # warm both code paths (imports, numpy, profile construction) so
+    # the timings compare steady-state costs, not first-call overheads
+    warm = EnsembleSpec(
+        "warm", (default_member("em1", n_steps=4),)
+    )
+    find_best_placement(warm, 2, CORES_PER_NODE)
+    next(iter(enumerate_placements_reference(warm, 2, CORES_PER_NODE)))
+    score_placement(
+        warm, find_best_placement(warm, 2, CORES_PER_NODE)[0].placement
+    )
+
+    exhaustive = bench_exhaustive(num_nodes=6 if quick else 7)
+    annealing = bench_annealing()
+    return {
+        "benchmark": "search",
+        "mode": "quick" if quick else "full",
+        "floors": {
+            "exhaustive": EXHAUSTIVE_FLOOR,
+            "annealing": ANNEALING_FLOOR,
+        },
+        "exhaustive": exhaustive,
+        "annealing": annealing,
+    }
+
+
+def check_floors(results: dict) -> bool:
+    ok = True
+    for section, floor in (
+        ("exhaustive", EXHAUSTIVE_FLOOR),
+        ("annealing", ANNEALING_FLOOR),
+    ):
+        speedup = results[section]["speedup"]
+        status = "ok" if speedup >= floor else "BELOW FLOOR"
+        print(
+            f"{section}: {speedup:.1f}x "
+            f"(floor {floor:.0f}x) {status}"
+        )
+        if speedup < floor:
+            ok = False
+    return ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the placement-search engine."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller exhaustive budget (CI smoke run)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate an existing results file against the floors",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"results file (default: {DEFAULT_OUTPUT.name})",
+    )
+    args = parser.parse_args()
+
+    if args.check:
+        if not args.output.exists():
+            print(f"no results file at {args.output}", file=sys.stderr)
+            return 1
+        results = json.loads(args.output.read_text())
+        return 0 if check_floors(results) else 1
+
+    results = run(quick=args.quick)
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    print(
+        f"exhaustive: {results['exhaustive']['candidates']} candidates, "
+        f"seed {results['exhaustive']['seed_seconds']:.2f}s -> fast "
+        f"{results['exhaustive']['fast_seconds']:.2f}s"
+    )
+    print(
+        f"annealing: {results['annealing']['evaluations']} evaluations, "
+        f"full {results['annealing']['full_seconds']:.2f}s -> "
+        f"incremental {results['annealing']['incremental_seconds']:.2f}s"
+    )
+    return 0 if check_floors(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

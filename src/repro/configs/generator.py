@@ -3,33 +3,31 @@
 :func:`enumerate_placements` yields every feasible assignment of an
 ensemble's components to an allocation of ``num_nodes`` nodes,
 optionally deduplicating placements equivalent under node relabeling.
-The paper notes the space is intractable in general (§3.4) — this
-enumerator is for the small N/K/M regimes of the evaluation, where
-exhaustive search both validates the heuristic and powers the
-placement-search example.
+The paper notes the space is intractable in general (§3.4) — the
+deduplicated stream is produced by the canonical restricted-growth-
+string generator in :mod:`repro.search.canonical`, which emits exactly
+one representative per relabeling class without ever walking the raw
+``nodes^components`` space; :func:`count_feasible_placements` counts
+in closed form over capacity multisets without materializing
+placements at all. Both are asserted element-for-element identical to
+the original product-then-dedup enumerator (preserved in
+:mod:`repro.search.reference`).
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Iterator
 
-from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.placement import EnsemblePlacement
 from repro.runtime.spec import EnsembleSpec
+from repro.search.canonical import (
+    component_core_demands,
+    count_canonical_assignments,
+    count_raw_assignments,
+    enumerate_canonical_placements,
+)
+from repro.search.reference import enumerate_placements_reference
 from repro.util.validation import require_positive_int
-
-
-def _canonical_signature(
-    flat_assignment: Sequence[int],
-) -> Tuple[int, ...]:
-    """Relabel nodes by first appearance so isomorphic placements match."""
-    mapping: Dict[int, int] = {}
-    out: List[int] = []
-    for node in flat_assignment:
-        if node not in mapping:
-            mapping[node] = len(mapping)
-        out.append(mapping[node])
-    return tuple(out)
 
 
 def enumerate_placements(
@@ -47,48 +45,20 @@ def enumerate_placements(
     ``sim@n0, ana@n1`` and ``sim@n1, ana@n0`` are the same scenario.
 
     The iteration order is deterministic (lexicographic in component
-    order), so downstream searches are reproducible.
+    order), so downstream searches are reproducible — and unchanged
+    from the original enumerator: the restricted-growth-string stream
+    is exactly the sequence of first-occurrence representatives the
+    product-then-dedup implementation kept.
     """
-    require_positive_int("num_nodes", num_nodes)
-    require_positive_int("cores_per_node", cores_per_node)
-
-    component_cores: List[int] = []
-    member_shapes: List[int] = []  # number of components per member
-    for member in spec.members:
-        member_shapes.append(1 + member.num_couplings)
-        component_cores.append(member.simulation.cores)
-        component_cores.extend(a.cores for a in member.analyses)
-
-    total_components = len(component_cores)
-    seen: set = set()
-
-    for assignment in itertools.product(range(num_nodes), repeat=total_components):
-        demand: Dict[int, int] = {}
-        feasible = True
-        for node, cores in zip(assignment, component_cores):
-            demand[node] = demand.get(node, 0) + cores
-            if demand[node] > cores_per_node:
-                feasible = False
-                break
-        if not feasible:
-            continue
-        if dedup_symmetric:
-            sig = _canonical_signature(assignment)
-            if sig in seen:
-                continue
-            seen.add(sig)
-
-        members: List[MemberPlacement] = []
-        cursor = 0
-        for shape in member_shapes:
-            chunk = assignment[cursor : cursor + shape]
-            cursor += shape
-            members.append(
-                MemberPlacement(
-                    simulation_node=chunk[0], analysis_nodes=tuple(chunk[1:])
-                )
-            )
-        yield EnsemblePlacement(num_nodes=num_nodes, members=tuple(members))
+    if dedup_symmetric:
+        return enumerate_canonical_placements(
+            spec, num_nodes, cores_per_node
+        )
+    # the labeled (non-deduplicated) space really is nodes^components;
+    # the reference product walk is the natural enumeration for it
+    return enumerate_placements_reference(
+        spec, num_nodes, cores_per_node, dedup_symmetric=False
+    )
 
 
 def count_feasible_placements(
@@ -97,10 +67,15 @@ def count_feasible_placements(
     cores_per_node: int,
     dedup_symmetric: bool = True,
 ) -> int:
-    """Size of the feasible placement space (for reporting)."""
-    return sum(
-        1
-        for _ in enumerate_placements(
-            spec, num_nodes, cores_per_node, dedup_symmetric
-        )
-    )
+    """Size of the feasible placement space (for reporting).
+
+    Counted directly by the memoized capacity-multiset recursion in
+    :mod:`repro.search.canonical` — no placement objects are built, so
+    spaces far beyond enumeration reach can still be sized exactly.
+    """
+    require_positive_int("num_nodes", num_nodes)
+    require_positive_int("cores_per_node", cores_per_node)
+    cores = component_core_demands(spec)
+    if dedup_symmetric:
+        return count_canonical_assignments(cores, num_nodes, cores_per_node)
+    return count_raw_assignments(cores, num_nodes, cores_per_node)

@@ -40,6 +40,15 @@ class IndicatorStage(Enum):
     PROVISIONING = "P"
 
 
+#: The fully-refined indicator order U -> A -> P (P^{U,A,P}) — the
+#: final stage every scheduler objective scores against.
+FINAL_STAGE_ORDER: Tuple[IndicatorStage, ...] = (
+    IndicatorStage.USAGE,
+    IndicatorStage.ALLOCATION,
+    IndicatorStage.PROVISIONING,
+)
+
+
 @dataclass(frozen=True)
 class PlacementSets:
     """Node-index sets of one ensemble member (Table 3's s_i, a_i^j).

@@ -22,8 +22,8 @@ from typing import Dict, List, Tuple
 from repro.dtl.base import DataTransportLayer
 from repro.platform.cluster import Cluster
 from repro.platform.contention import ContentionAssessment
-from repro.runtime.placement import EnsemblePlacement
-from repro.runtime.spec import EnsembleSpec
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec, MemberSpec
 from repro.util.errors import PlacementError
 
 
@@ -103,59 +103,74 @@ def compute_effective_stages(
     assessments: Dict[str, ContentionAssessment] = cluster.assess_all()
 
     # 3. per-member effective stage times
-    progress_tax = getattr(dtl, "producer_progress_tax", 0.0)
     members: List[EffectiveMember] = []
     for member_spec, mp in zip(spec.members, placement.members):
-        sim_model = member_spec.simulation
-        sim_assess = assessments[sim_model.name]
-        payload = sim_model.payload_bytes()
-
-        remote_consumers = [
-            node for node in mp.analysis_nodes if node != mp.simulation_node
-        ]
-        per_op_overhead = sum(
-            dtl.read_cost(mp.simulation_node, node, payload).producer_overhead
-            for node in remote_consumers
-        )
-        s_eff = (
-            sim_model.solo_compute_time()
-            * sim_assess.dilation
-            * (1.0 + progress_tax * len(remote_consumers))
-            + per_op_overhead
-        )
-        w_eff = dtl.write_cost(mp.simulation_node, payload).total
-        sim_effective = EffectiveComponent(
-            name=sim_model.name,
-            node=mp.simulation_node,
-            compute_time=s_eff,
-            io_time=w_eff,
-            assessment=sim_assess,
-        )
-
-        analyses: List[EffectiveComponent] = []
-        for ana_model, node in zip(member_spec.analyses, mp.analysis_nodes):
-            ana_assess = assessments[ana_model.name]
-            read = dtl.read_cost(mp.simulation_node, node, payload)
-            is_remote = node != mp.simulation_node
-            analyses.append(
-                EffectiveComponent(
-                    name=ana_model.name,
-                    node=node,
-                    compute_time=ana_model.solo_compute_time()
-                    * ana_assess.dilation,
-                    io_time=read.total,
-                    assessment=ana_assess,
-                    transport_time=read.transport if is_remote else 0.0,
-                    producer_node=mp.simulation_node,
-                )
-            )
-        members.append(
-            EffectiveMember(
-                name=member_spec.name,
-                simulation=sim_effective,
-                analyses=tuple(analyses),
-                n_steps=member_spec.n_steps,
-                total_cores=member_spec.total_cores,
-            )
-        )
+        members.append(member_effective_stages(member_spec, mp, assessments, dtl))
     return members
+
+
+def member_effective_stages(
+    member_spec: MemberSpec,
+    mp: MemberPlacement,
+    assessments: Dict[str, ContentionAssessment],
+    dtl: DataTransportLayer,
+) -> EffectiveMember:
+    """Assemble one member's effective stages from node assessments.
+
+    ``assessments`` must contain an entry for each of the member's
+    components (keyed by component name). This is the single code path
+    used both by :func:`compute_effective_stages` and by the memoized
+    stage cache in :mod:`repro.search` — sharing it is what makes the
+    cached predictions bit-identical to the full ones.
+    """
+    progress_tax = getattr(dtl, "producer_progress_tax", 0.0)
+    sim_model = member_spec.simulation
+    sim_assess = assessments[sim_model.name]
+    payload = sim_model.payload_bytes()
+
+    remote_consumers = [
+        node for node in mp.analysis_nodes if node != mp.simulation_node
+    ]
+    per_op_overhead = sum(
+        dtl.read_cost(mp.simulation_node, node, payload).producer_overhead
+        for node in remote_consumers
+    )
+    s_eff = (
+        sim_model.solo_compute_time()
+        * sim_assess.dilation
+        * (1.0 + progress_tax * len(remote_consumers))
+        + per_op_overhead
+    )
+    w_eff = dtl.write_cost(mp.simulation_node, payload).total
+    sim_effective = EffectiveComponent(
+        name=sim_model.name,
+        node=mp.simulation_node,
+        compute_time=s_eff,
+        io_time=w_eff,
+        assessment=sim_assess,
+    )
+
+    analyses: List[EffectiveComponent] = []
+    for ana_model, node in zip(member_spec.analyses, mp.analysis_nodes):
+        ana_assess = assessments[ana_model.name]
+        read = dtl.read_cost(mp.simulation_node, node, payload)
+        is_remote = node != mp.simulation_node
+        analyses.append(
+            EffectiveComponent(
+                name=ana_model.name,
+                node=node,
+                compute_time=ana_model.solo_compute_time()
+                * ana_assess.dilation,
+                io_time=read.total,
+                assessment=ana_assess,
+                transport_time=read.transport if is_remote else 0.0,
+                producer_node=mp.simulation_node,
+            )
+        )
+    return EffectiveMember(
+        name=member_spec.name,
+        simulation=sim_effective,
+        analyses=tuple(analyses),
+        n_steps=member_spec.n_steps,
+        total_cores=member_spec.total_cores,
+    )

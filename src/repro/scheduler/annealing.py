@@ -25,11 +25,15 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.core.objective import objective_function
 from repro.faults.analytic import RobustnessTerm
+from repro.platform.cluster import Cluster
+from repro.platform.specs import make_cori_like_cluster
 from repro.runtime.placement import EnsemblePlacement, MemberPlacement
 from repro.runtime.spec import EnsembleSpec
 from repro.scheduler.objectives import score_placement
 from repro.scheduler.policies import RandomPolicy, SchedulingPolicy
+from repro.search.cache import FlatEvaluation, StageCache
 from repro.util.rng import RandomSource
 from repro.util.validation import (
     require_in_range,
@@ -66,6 +70,17 @@ class SimulatedAnnealingPolicy(SchedulingPolicy):
         Optional :class:`~repro.faults.analytic.RobustnessTerm`; when
         given, the annealer maximizes the penalized utility instead of
         the raw objective.
+    incremental:
+        Use delta evaluation (default): a move changes the residents
+        of exactly two nodes, so only members touching those nodes are
+        re-predicted; every other member's cached stage and indicator
+        terms carry over. The trajectory is bit-identical to full
+        re-scoring (same floats, same RNG draws, same placements) —
+        set ``False`` to force the original score-everything path.
+    cache:
+        Optional :class:`~repro.search.cache.StageCache` to share
+        across runs; a fresh default-context cache is built per
+        ``place`` call when omitted or incompatible.
     """
 
     name = "simulated-annealing"
@@ -78,6 +93,8 @@ class SimulatedAnnealingPolicy(SchedulingPolicy):
         plateau: int = 100,
         min_temperature_ratio: float = 1e-3,
         robustness: Optional[RobustnessTerm] = None,
+        incremental: bool = True,
+        cache: Optional[StageCache] = None,
     ) -> None:
         self.rng = RandomSource(seed, name="annealer")
         self.initial_temperature = require_positive(
@@ -92,6 +109,8 @@ class SimulatedAnnealingPolicy(SchedulingPolicy):
             "min_temperature_ratio", min_temperature_ratio
         )
         self.robustness = robustness
+        self.incremental = bool(incremental)
+        self.cache = cache
         self.stats = AnnealingStats()
 
     # -- state helpers --------------------------------------------------------
@@ -155,6 +174,11 @@ class SimulatedAnnealingPolicy(SchedulingPolicy):
             component_cores.append(member.simulation.cores)
             component_cores.extend(a.cores for a in member.analyses)
 
+        if self.incremental:
+            return self._anneal_incremental(
+                spec, num_nodes, cores_per_node, gen, flat, component_cores
+            )
+
         current = score_placement(
             spec,
             self._unflatten(spec, flat, num_nodes),
@@ -200,6 +224,119 @@ class SimulatedAnnealingPolicy(SchedulingPolicy):
                     self.stats.accepted += 1
                     if candidate.utility > best.utility:
                         best = candidate
+                        best_flat = list(flat)
+                        self.stats.improved += 1
+                else:
+                    # revert the move
+                    flat[idx] = old_node
+                    demand[new_node] -= cores
+                    demand[old_node] += cores
+            temperature *= self.cooling
+
+        return self._unflatten(spec, best_flat, num_nodes)
+
+    # -- incremental (delta-evaluation) annealing -----------------------------
+    def _utility_of(
+        self,
+        spec: EnsembleSpec,
+        evaluation: FlatEvaluation,
+        flat: List[int],
+        num_nodes: int,
+        robust_cluster: Optional[Cluster],
+    ) -> float:
+        """The move-acceptance utility from a cached flat evaluation.
+
+        Mirrors ``score_placement(...).utility`` exactly: same
+        objective aggregation, and — with a robustness term — the same
+        surrogate penalty over the same (cached, bit-identical) stage
+        predictions.
+        """
+        objective = objective_function(evaluation.indicators)
+        if self.robustness is None:
+            return objective
+        penalty = self.robustness.penalty(
+            spec,
+            self._unflatten(spec, flat, num_nodes),
+            cluster=robust_cluster,
+            stages=evaluation.stages_by_name(spec),
+        )
+        return objective - penalty
+
+    def _anneal_incremental(
+        self,
+        spec: EnsembleSpec,
+        num_nodes: int,
+        cores_per_node: int,
+        gen,
+        flat: List[int],
+        component_cores: List[int],
+    ) -> EnsemblePlacement:
+        """The same annealing schedule with changed-nodes-only rescoring.
+
+        A move relocates one component from ``old_node`` to
+        ``new_node``; only members with a component on either node need
+        new signatures (and, on a cache miss, new predictions) — the
+        rest of the evaluation carries over unchanged. Utilities,
+        acceptance decisions, and RNG draws are bit-identical to the
+        full path, which the parity tests assert move for move.
+        """
+        cache = self.cache
+        if cache is None or not cache.matches(None, None):
+            cache = StageCache()
+        robust_cluster: Optional[Cluster] = None
+        if self.robustness is not None:
+            robust_cluster = make_cori_like_cluster(num_nodes)
+
+        evaluation = cache.evaluate_flat(spec, flat, num_nodes)
+        current_utility = self._utility_of(
+            spec, evaluation, flat, num_nodes, robust_cluster
+        )
+        self.stats.evaluations += 1
+        best_flat = list(flat)
+        best_utility = current_utility
+
+        temperature = self.initial_temperature * max(
+            abs(current_utility), 1e-9
+        )
+        floor = temperature * self.min_temperature_ratio
+
+        demand = self._demand(spec, flat)
+        while temperature > floor:
+            for _ in range(self.plateau):
+                idx = int(gen.integers(0, len(flat)))
+                old_node = flat[idx]
+                cores = component_cores[idx]
+                options = [
+                    n
+                    for n in range(num_nodes)
+                    if n != old_node
+                    and demand.get(n, 0) + cores <= cores_per_node
+                ]
+                if not options:
+                    continue
+                new_node = int(gen.choice(options))
+                flat[idx] = new_node
+                demand[old_node] -= cores
+                demand[new_node] = demand.get(new_node, 0) + cores
+
+                candidate_eval = cache.evaluate_flat(
+                    spec,
+                    flat,
+                    num_nodes,
+                    changed_nodes=frozenset((old_node, new_node)),
+                    previous=evaluation,
+                )
+                candidate_utility = self._utility_of(
+                    spec, candidate_eval, flat, num_nodes, robust_cluster
+                )
+                self.stats.evaluations += 1
+                delta = candidate_utility - current_utility
+                if delta >= 0 or gen.random() < math.exp(delta / temperature):
+                    evaluation = candidate_eval
+                    current_utility = candidate_utility
+                    self.stats.accepted += 1
+                    if candidate_utility > best_utility:
+                        best_utility = candidate_utility
                         best_flat = list(flat)
                         self.stats.improved += 1
                 else:

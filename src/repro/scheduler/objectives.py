@@ -17,9 +17,13 @@ shortlist afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.search.cache import StageCache
 
 from repro.core.indicators import (
+    FINAL_STAGE_ORDER,
     IndicatorStage,
     MemberMeasurement,
     apply_stages,
@@ -35,14 +39,17 @@ from repro.runtime.analytic import predict_member_stages
 from repro.runtime.placement import EnsemblePlacement
 from repro.runtime.spec import EnsembleSpec
 
-FINAL_STAGE_ORDER: Tuple[IndicatorStage, ...] = (
-    IndicatorStage.USAGE,
-    IndicatorStage.ALLOCATION,
-    IndicatorStage.PROVISIONING,
-)
+# FINAL_STAGE_ORDER lives in repro.core.indicators (so the search
+# engine's cache can use it without importing the scheduler); it stays
+# re-exported here for existing callers.
+__all__ = [
+    "FINAL_STAGE_ORDER",
+    "PlacementScore",
+    "score_placement",
+]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PlacementScore:
     """Quality summary of one candidate placement.
 
@@ -51,6 +58,12 @@ class PlacementScore:
     by lower makespan — so ``max(scores)`` is the scheduler's
     preference. Without a robustness term the penalty is 0 and the
     ordering is the classic failure-free one.
+
+    Equality agrees with the ordering (both compare :meth:`_key`), so
+    the comparison set is totally ordered: ``a <= b and b <= a``
+    implies ``a == b``, as :func:`functools.total_ordering` would
+    require. Two placements that tie on (utility, nodes, makespan)
+    compare equal even if the placements themselves differ.
     """
 
     placement: EnsemblePlacement
@@ -69,6 +82,19 @@ class PlacementScore:
 
     def _key(self) -> Tuple[float, int, float]:
         return (self.utility, -self.num_nodes, -self.ensemble_makespan)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PlacementScore):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __ne__(self, other: object) -> bool:
+        if not isinstance(other, PlacementScore):
+            return NotImplemented
+        return self._key() != other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
 
     def __lt__(self, other: "PlacementScore") -> bool:
         return self._key() < other._key()
@@ -90,6 +116,7 @@ def score_placement(
     dtl: Optional[DataTransportLayer] = None,
     robustness: Optional[RobustnessTerm] = None,
     stages: Optional[Dict[str, MemberStages]] = None,
+    cache: Optional["StageCache"] = None,
 ) -> PlacementScore:
     """Score one placement via the analytic predictor.
 
@@ -101,7 +128,35 @@ def score_placement(
     already hold the :func:`~repro.runtime.analytic
     .predict_member_stages` result for this exact (spec, placement,
     cluster, dtl) can pass it as ``stages`` to skip re-predicting.
+
+    A :class:`~repro.search.cache.StageCache` passed as ``cache``
+    memoizes stage prediction and indicator terms across calls —
+    members whose local co-location pattern repeats between candidates
+    are never re-predicted. The cached path produces bit-identical
+    scores; a cache whose platform context does not match
+    ``(cluster, dtl)`` is ignored.
     """
+    if cache is not None and stages is None and cache.matches(cluster, dtl):
+        evaluation = cache.member_terms(spec, placement)
+        penalty = 0.0
+        if robustness is not None:
+            if cluster is None:
+                cluster = make_cori_like_cluster(placement.num_nodes)
+            penalty = robustness.penalty(
+                spec,
+                placement,
+                cluster=cluster,
+                dtl=dtl,
+                stages=evaluation.stages_by_name(spec),
+            )
+        return PlacementScore(
+            placement=placement,
+            objective=objective_function(evaluation.indicators),
+            ensemble_makespan=evaluation.worst_makespan,
+            num_nodes=placement.num_nodes,
+            member_indicators=tuple(evaluation.indicators),
+            robust_penalty=penalty,
+        )
     if cluster is None:
         cluster = make_cori_like_cluster(placement.num_nodes)
     if stages is None:

@@ -21,7 +21,10 @@ compared on their robust utility without any DES trials.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.search.cache import StageCache
 
 from repro.components.analysis import EigenAnalysisModel
 from repro.core.heuristic import CoreAllocationChoice, choose_analysis_cores
@@ -63,6 +66,10 @@ class ResourceConstrainedPlanner:
         Optional :class:`~repro.faults.analytic.RobustnessTerm`; when
         given, the plan's score includes the surrogate's expected
         inflation penalty (and orders by the penalized utility).
+    cache:
+        Optional :class:`~repro.search.cache.StageCache` used to score
+        the final placement (shared across ``plan`` calls; a policy
+        that accepts a cache benefits from warm entries too).
     """
 
     def __init__(
@@ -70,12 +77,17 @@ class ResourceConstrainedPlanner:
         policy: Optional[SchedulingPolicy] = None,
         core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
         robustness: Optional[RobustnessTerm] = None,
+        cache: Optional["StageCache"] = None,
     ) -> None:
         self.policy = policy or GreedyIndicatorPolicy()
         self.core_counts = list(core_counts)
         if not self.core_counts:
             raise ConfigurationError("core_counts must be non-empty")
         self.robustness = robustness
+        self.cache = cache
+        #: probe predictions run by the most recent ``plan`` call —
+        #: distinct core counts actually evaluated, after memoization
+        self.probe_evaluations = 0
 
     def plan(
         self,
@@ -92,7 +104,8 @@ class ResourceConstrainedPlanner:
         placement = self.policy.place(sized_spec, num_nodes, cores_per_node)
         placement = self._compact(placement)
         score = score_placement(
-            sized_spec, placement, robustness=self.robustness
+            sized_spec, placement, robustness=self.robustness,
+            cache=self.cache,
         )
         return Plan(
             spec=sized_spec,
@@ -139,7 +152,17 @@ class ResourceConstrainedPlanner:
                 "no candidate analysis core count fits the node size"
             )
 
+        # the heuristic, its single-count fallback, and the full sweep
+        # all probe through this closure, re-requesting the same core
+        # counts — memoize per plan() call so each count is predicted
+        # exactly once however many paths ask for it
+        probe_stages: dict = {}
+        self.probe_evaluations = 0
+
         def evaluate(cores: int) -> MemberStages:
+            cached = probe_stages.get(cores)
+            if cached is not None:
+                return cached
             # §3.4 baseline: co-location-free — the simulation and each
             # analysis on dedicated nodes, so the sweep measures pure
             # component scaling, not contention.
@@ -150,7 +173,12 @@ class ResourceConstrainedPlanner:
                 k + 1,
                 (MemberPlacement(0, tuple(range(1, k + 1))),),
             )
-            return predict_member_stages(probe, placement)[probe_member.name]
+            stages = predict_member_stages(probe, placement)[
+                probe_member.name
+            ]
+            probe_stages[cores] = stages
+            self.probe_evaluations += 1
+            return stages
 
         choice = choose_analysis_cores(evaluate, counts)
         if choice is None:

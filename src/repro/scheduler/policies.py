@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import abc
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.search.cache import StageCache
 
 from repro.configs.generator import enumerate_placements
 from repro.runtime.placement import EnsemblePlacement, MemberPlacement
@@ -67,12 +70,37 @@ class SchedulingPolicy(abc.ABC):
 
 
 class ExhaustiveSearchPolicy(SchedulingPolicy):
-    """Score every feasible placement; return the best."""
+    """Score every feasible placement; return the best.
+
+    Runs through :func:`repro.search.engine.find_best_placement`: the
+    canonical (symmetry-free) enumerator streams flat assignments into
+    a memoized stage cache, so the search visits the same candidates
+    in the same order and returns the same optimum as scoring every
+    enumerated placement individually — just orders of magnitude
+    faster (asserted in the search benchmarks).
+
+    Parameters
+    ----------
+    cache:
+        Optional :class:`~repro.search.cache.StageCache` shared across
+        ``place`` calls (one is built per call when omitted).
+    parallel / processes:
+        Opt in to pool-based candidate scoring (serial fallback
+        applies; results are identical either way).
+    """
 
     name = "exhaustive"
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        cache: Optional["StageCache"] = None,
+        parallel: bool = False,
+        processes: Optional[int] = None,
+    ) -> None:
         self.evaluated = 0
+        self.cache = cache
+        self.parallel = parallel
+        self.processes = processes
 
     def place(
         self,
@@ -82,20 +110,16 @@ class ExhaustiveSearchPolicy(SchedulingPolicy):
     ) -> EnsemblePlacement:
         require_positive_int("num_nodes", num_nodes)
         self._check_total_capacity(spec, num_nodes, cores_per_node)
-        best: Optional[PlacementScore] = None
-        self.evaluated = 0
-        for placement in enumerate_placements(
-            spec, num_nodes, cores_per_node
-        ):
-            score = score_placement(spec, placement)
-            self.evaluated += 1
-            if best is None or score > best:
-                best = score
-        if best is None:
-            raise PlacementError(
-                f"no feasible placement over {num_nodes} nodes of "
-                f"{cores_per_node} cores"
-            )
+        from repro.search.engine import find_best_placement
+
+        best, self.evaluated = find_best_placement(
+            spec,
+            num_nodes,
+            cores_per_node,
+            cache=self.cache,
+            parallel=self.parallel,
+            processes=self.processes,
+        )
         return best.placement
 
 

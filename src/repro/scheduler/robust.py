@@ -28,7 +28,10 @@ search. For inner-loop robustness there are two cheaper routes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.search.cache import StageCache
 
 import numpy as np
 
@@ -218,6 +221,7 @@ def surrogate_score_placement(
     cluster: Optional[Cluster] = None,
     dtl: Optional[DataTransportLayer] = None,
     name: str = "",
+    cache: Optional["StageCache"] = None,
 ) -> RobustScore:
     """Score one placement with the analytic surrogate — no DES runs.
 
@@ -243,6 +247,10 @@ def surrogate_score_placement(
         Platform overrides, as for the analytic predictor.
     name:
         Label for the returned score (defaults to the spec name).
+    cache:
+        Optional :class:`~repro.search.cache.StageCache`; when its
+        context matches, stage predictions are memoized across
+        candidates (bit-identical floats either way).
 
     Returns
     -------
@@ -256,7 +264,12 @@ def surrogate_score_placement(
     """
     if cluster is None:
         cluster = make_cori_like_cluster(placement.num_nodes)
-    stages = predict_member_stages(spec, placement, cluster=cluster, dtl=dtl)
+    if cache is not None and cache.matches(cluster, dtl):
+        stages = cache.predict(spec, placement)
+    else:
+        stages = predict_member_stages(
+            spec, placement, cluster=cluster, dtl=dtl
+        )
     ideal = score_placement(
         spec, placement, cluster=cluster, dtl=dtl, stages=stages
     )
@@ -277,6 +290,52 @@ def surrogate_score_placement(
     )
 
 
+def _surrogate_rank_worker(payload: Tuple) -> RobustScore:
+    """Pool worker: surrogate-score one named candidate."""
+    spec, name, placement, model, policy = payload
+    return surrogate_score_placement(
+        spec, placement, model, policy, name=name
+    )
+
+
+def _des_rank_worker(payload: Tuple) -> RobustScore:
+    """Pool worker: DES-score one named candidate."""
+    (
+        spec, name, placement, model_factory, policy, trials, base_seed,
+        timing_noise,
+    ) = payload
+    return robust_score_placement(
+        spec,
+        placement,
+        model_factory,
+        policy,
+        trials=trials,
+        base_seed=base_seed,
+        timing_noise=timing_noise,
+        name=name,
+    )
+
+
+def _parallel_map(worker, payloads: List[Tuple]) -> Optional[List]:
+    """Order-preserving pool map, or None if parallelism is unavailable.
+
+    Both scoring paths are pure functions of their payloads, so pool
+    results are identical to serial ones; any failure (single core,
+    sandboxed semaphores, unpicklable model factories) returns None
+    and the caller runs the serial path instead.
+    """
+    try:
+        import multiprocessing
+
+        processes = multiprocessing.cpu_count()
+        if processes < 2 or len(payloads) < 2:
+            return None
+        with multiprocessing.Pool(processes=processes) as pool:
+            return pool.map(worker, payloads)
+    except Exception:
+        return None
+
+
 def rank_placements_robust(
     spec: EnsembleSpec,
     candidates: Dict[str, EnsemblePlacement],
@@ -286,6 +345,8 @@ def rank_placements_robust(
     base_seed: int = 0,
     timing_noise: float = 0.0,
     method: str = "des",
+    cache: Optional["StageCache"] = None,
+    parallel: bool = False,
 ) -> List[RobustScore]:
     """Score every candidate placement; best (highest robust F) first.
 
@@ -307,6 +368,16 @@ def rank_placements_robust(
         ``"des"`` executes injected trials per candidate;
         ``"surrogate"`` prices each candidate in closed form —
         same ranking on the paper's C1/C2 candidates, >= 10x faster.
+    cache:
+        Optional :class:`~repro.search.cache.StageCache` for the
+        surrogate method — stage predictions shared across candidates
+        with matching local patterns (a default-context cache is built
+        when omitted). Ignored by the DES method.
+    parallel:
+        Opt in to scoring candidates across a multiprocessing pool.
+        Results are identical to serial (every candidate's seeds are
+        fixed by its payload); falls back to serial when the pool is
+        unavailable or inputs do not pickle (e.g. lambda factories).
 
     Returns
     -------
@@ -325,13 +396,40 @@ def rank_placements_robust(
         )
     if method == "surrogate":
         model = model_factory(base_seed)
+        if parallel:
+            pooled = _parallel_map(
+                _surrogate_rank_worker,
+                [
+                    (spec, name, placement, model, policy)
+                    for name, placement in candidates.items()
+                ],
+            )
+            if pooled is not None:
+                return sorted(pooled, reverse=True)
+        if cache is None:
+            from repro.search.cache import StageCache
+
+            cache = StageCache()
         scores = [
             surrogate_score_placement(
-                spec, placement, model, policy, name=name
+                spec, placement, model, policy, name=name, cache=cache
             )
             for name, placement in candidates.items()
         ]
         return sorted(scores, reverse=True)
+    if parallel:
+        pooled = _parallel_map(
+            _des_rank_worker,
+            [
+                (
+                    spec, name, placement, model_factory, policy, trials,
+                    base_seed, timing_noise,
+                )
+                for name, placement in candidates.items()
+            ],
+        )
+        if pooled is not None:
+            return sorted(pooled, reverse=True)
     scores = [
         robust_score_placement(
             spec,

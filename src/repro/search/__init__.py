@@ -1,0 +1,86 @@
+"""Fast placement-search engine (canonical + memoized + parallel).
+
+The seed search stack is the naive reference: enumerate
+``nodes^components`` raw assignments, dedup after the fact, re-run the
+full analytic predictor per candidate, re-score every member per
+annealing move. This package replaces the *work*, not the *answers* —
+every fast path is asserted bit-identical to the seed implementation
+it supersedes (same placements, same score floats):
+
+- :mod:`~repro.search.canonical` — restricted-growth-string
+  enumeration: one representative per node-relabeling class, capacity
+  pruning inside the recursion, closed-form counting over capacity
+  multisets;
+- :mod:`~repro.search.cache` — :class:`StageCache`, memoized stage
+  prediction keyed by each member's local co-location signature, with
+  delta (changed-nodes-only) re-evaluation for move-based search;
+- :mod:`~repro.search.batch` — :func:`score_placements_batch`,
+  order-preserving chunked scoring with an optional multiprocessing
+  pool and an unconditional serial fallback;
+- :mod:`~repro.search.engine` — :func:`find_best_placement`, the fused
+  streaming search used by the exhaustive policy;
+- :mod:`~repro.search.reference` — the seed implementations, kept as
+  the baseline the benchmarks and property tests diff against.
+
+See ``docs/PERFORMANCE.md`` for the architecture and the determinism
+guarantees.
+"""
+
+from repro.search.cache import FlatEvaluation, StageCache
+from repro.search.canonical import (
+    assignment_to_placement,
+    component_core_demands,
+    count_canonical_assignments,
+    count_raw_assignments,
+    enumerate_canonical_placements,
+    iter_canonical_assignments,
+    member_shapes,
+)
+from repro.search.reference import (
+    canonical_signature,
+    count_feasible_placements_reference,
+    enumerate_placements_reference,
+)
+
+# batch and engine score through repro.scheduler.objectives, which
+# (via repro.scheduler.policies) enumerates through
+# repro.configs.generator, which uses repro.search.canonical — loading
+# them eagerly here would close that cycle. PEP 562 lazy loading keeps
+# the public surface flat while the canonical/cache layers stay
+# importable from anywhere in the scheduler stack.
+_LAZY_EXPORTS = {
+    "MIN_PARALLEL_BATCH": "repro.search.batch",
+    "find_best_placement": "repro.search.engine",
+    "score_placements_batch": "repro.search.batch",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+__all__ = [
+    "FlatEvaluation",
+    "MIN_PARALLEL_BATCH",
+    "StageCache",
+    "assignment_to_placement",
+    "canonical_signature",
+    "component_core_demands",
+    "count_canonical_assignments",
+    "count_feasible_placements_reference",
+    "count_raw_assignments",
+    "enumerate_canonical_placements",
+    "enumerate_placements_reference",
+    "find_best_placement",
+    "iter_canonical_assignments",
+    "member_shapes",
+    "score_placements_batch",
+]

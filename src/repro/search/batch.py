@@ -1,0 +1,150 @@
+"""Batch and parallel scoring of candidate placements.
+
+:func:`score_placements_batch` scores a list of candidates through one
+shared :class:`~repro.search.cache.StageCache` — serially by default,
+or chunked across a :mod:`multiprocessing` pool on request. Parallel
+mode is strictly an opt-in accelerator:
+
+- results are **deterministic and identical to serial**: chunks are
+  scored independently (each worker builds its own cache — caches only
+  skip work, they never change floats) and reassembled in input order;
+- any failure to go parallel (single-core host, sandboxed semaphores,
+  unpicklable inputs, pool crash) silently **falls back to the serial
+  path** — parallelism is never allowed to turn a scoring call into an
+  error the serial path would not raise;
+- small batches stay serial (``min_parallel``): pool startup costs more
+  than it saves below a few dozen candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.dtl.base import DataTransportLayer
+from repro.faults.analytic import RobustnessTerm
+from repro.platform.cluster import Cluster
+from repro.runtime.placement import EnsemblePlacement
+from repro.runtime.spec import EnsembleSpec
+from repro.scheduler.objectives import PlacementScore, score_placement
+from repro.search.cache import StageCache
+
+#: below this many candidates the serial path is used even when
+#: ``parallel=True`` — pool startup dominates at small sizes.
+MIN_PARALLEL_BATCH = 64
+
+_ChunkPayload = Tuple[
+    EnsembleSpec,
+    Tuple[EnsemblePlacement, ...],
+    Optional[Cluster],
+    Optional[DataTransportLayer],
+    Optional[RobustnessTerm],
+]
+
+
+def _score_chunk(payload: _ChunkPayload) -> List[PlacementScore]:
+    """Worker: score one chunk with a fresh worker-local cache."""
+    spec, chunk, cluster, dtl, robustness = payload
+    cache = StageCache(cluster, dtl)
+    return [
+        score_placement(
+            spec,
+            placement,
+            cluster=cluster,
+            dtl=dtl,
+            robustness=robustness,
+            cache=cache,
+        )
+        for placement in chunk
+    ]
+
+
+def _chunked(
+    items: Sequence[EnsemblePlacement], size: int
+) -> List[Tuple[EnsemblePlacement, ...]]:
+    return [
+        tuple(items[i : i + size]) for i in range(0, len(items), size)
+    ]
+
+
+def score_placements_batch(
+    spec: EnsembleSpec,
+    placements: Iterable[EnsemblePlacement],
+    cluster: Optional[Cluster] = None,
+    dtl: Optional[DataTransportLayer] = None,
+    robustness: Optional[RobustnessTerm] = None,
+    cache: Optional[StageCache] = None,
+    parallel: bool = False,
+    processes: Optional[int] = None,
+    min_parallel: int = MIN_PARALLEL_BATCH,
+) -> List[PlacementScore]:
+    """Score candidates in input order; identical to mapping
+    :func:`~repro.scheduler.objectives.score_placement`.
+
+    Parameters
+    ----------
+    spec / placements:
+        The ensemble and the candidates to score.
+    cluster / dtl / robustness:
+        Forwarded to :func:`~repro.scheduler.objectives.score_placement`.
+    cache:
+        Optional shared :class:`~repro.search.cache.StageCache`; one is
+        created (and warm entries reused across the whole batch) when
+        omitted or incompatible with ``(cluster, dtl)``.
+    parallel:
+        Opt in to multiprocessing. Falls back to serial on single-core
+        hosts, batches below ``min_parallel``, or any pool failure.
+    processes:
+        Worker count (default: ``os.cpu_count()``).
+    """
+    items = list(placements)
+    if cache is None or not cache.matches(cluster, dtl):
+        cache = StageCache(cluster, dtl)
+    if parallel and len(items) >= max(min_parallel, 2):
+        scores = _try_parallel(
+            spec, items, cluster, dtl, robustness, processes
+        )
+        if scores is not None:
+            return scores
+    return [
+        score_placement(
+            spec,
+            placement,
+            cluster=cluster,
+            dtl=dtl,
+            robustness=robustness,
+            cache=cache,
+        )
+        for placement in items
+    ]
+
+
+def _try_parallel(
+    spec: EnsembleSpec,
+    items: List[EnsemblePlacement],
+    cluster: Optional[Cluster],
+    dtl: Optional[DataTransportLayer],
+    robustness: Optional[RobustnessTerm],
+    processes: Optional[int],
+) -> Optional[List[PlacementScore]]:
+    """Chunked pool scoring, or None if parallelism is unavailable."""
+    try:
+        import multiprocessing
+
+        if processes is None:
+            processes = multiprocessing.cpu_count()
+        if processes < 2:
+            return None
+        # ~4 chunks per worker keeps the pool load-balanced without
+        # shredding cache locality inside each chunk
+        chunk_size = max(1, len(items) // (processes * 4))
+        chunks = _chunked(items, chunk_size)
+        payloads: List[_ChunkPayload] = [
+            (spec, chunk, cluster, dtl, robustness) for chunk in chunks
+        ]
+        with multiprocessing.Pool(processes=processes) as pool:
+            per_chunk = pool.map(_score_chunk, payloads)
+        return [score for chunk in per_chunk for score in chunk]
+    except Exception:
+        # sandboxes without semaphores, unpicklable models, pool
+        # crashes — all degrade to the serial path, never to an error
+        return None

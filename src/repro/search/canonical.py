@@ -1,0 +1,213 @@
+"""Canonical placement enumeration (restricted growth strings).
+
+The seed enumerator walked all ``nodes^components`` raw assignments and
+discarded node-relabeling duplicates with a ``seen`` set — exponential
+work even when the surviving canonical space is tiny. This module
+generates exactly one representative per relabeling class *directly*:
+
+- A canonical assignment is a **restricted growth string** (RGS): node
+  labels appear in order of first use, so component ``i`` may only use
+  a node already opened by components ``0..i-1`` or open the next
+  fresh label. Every relabeling class contains exactly one RGS, and it
+  is the lexicographically smallest member of its class — i.e. the
+  representative the seed's first-occurrence dedup kept. The streams
+  are therefore identical, element for element.
+- Capacity pruning happens **inside the recursion**: a prefix that
+  oversubscribes a node is abandoned before any of its completions are
+  materialized, so infeasible subtrees cost one comparison instead of
+  ``nodes^(remaining)`` iterations.
+- Counting never materializes placements at all:
+  :func:`count_canonical_assignments` and :func:`count_raw_assignments`
+  run a memoized recursion over *capacity multisets* — two partial
+  states whose remaining node capacities agree as multisets have the
+  same number of completions, which collapses the tree to polynomial
+  size for the node counts searched here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec
+from repro.util.validation import require_positive_int
+
+
+def component_core_demands(spec: EnsembleSpec) -> List[int]:
+    """Core demand of every component, in flat (member-major) order."""
+    cores: List[int] = []
+    for member in spec.members:
+        cores.append(member.simulation.cores)
+        cores.extend(a.cores for a in member.analyses)
+    return cores
+
+
+def member_shapes(spec: EnsembleSpec) -> List[int]:
+    """Number of components (1 + K_i) per member, in member order."""
+    return [1 + member.num_couplings for member in spec.members]
+
+
+def assignment_to_placement(
+    spec: EnsembleSpec, assignment: Sequence[int], num_nodes: int
+) -> EnsemblePlacement:
+    """Materialize a flat component-to-node assignment as a placement."""
+    members: List[MemberPlacement] = []
+    cursor = 0
+    for member in spec.members:
+        shape = 1 + member.num_couplings
+        chunk = assignment[cursor : cursor + shape]
+        cursor += shape
+        members.append(MemberPlacement(chunk[0], tuple(chunk[1:])))
+    return EnsemblePlacement(num_nodes=num_nodes, members=tuple(members))
+
+
+def iter_canonical_assignments(
+    component_cores: Sequence[int],
+    num_nodes: int,
+    cores_per_node: int,
+) -> Iterator[Tuple[int, ...]]:
+    """Yield feasible canonical (RGS) assignments in lexicographic order.
+
+    Each yielded tuple assigns every component a node label; labels are
+    opened in order of first use and no node's total demand exceeds
+    ``cores_per_node``. The order matches the seed product-then-dedup
+    enumerator's output order exactly (first occurrence in raw
+    lexicographic order *is* the RGS representative).
+    """
+    require_positive_int("num_nodes", num_nodes)
+    require_positive_int("cores_per_node", cores_per_node)
+    n = len(component_cores)
+    if n == 0:
+        return
+    assignment = [0] * n
+    # remaining capacity of opened nodes, indexed by label
+    caps: List[int] = []
+
+    def rec(i: int) -> Iterator[Tuple[int, ...]]:
+        if i == n:
+            yield tuple(assignment)
+            return
+        cores = component_cores[i]
+        for label in range(len(caps)):
+            if caps[label] >= cores:
+                caps[label] -= cores
+                assignment[i] = label
+                yield from rec(i + 1)
+                caps[label] += cores
+        if len(caps) < num_nodes and cores_per_node >= cores:
+            caps.append(cores_per_node - cores)
+            assignment[i] = len(caps) - 1
+            yield from rec(i + 1)
+            caps.pop()
+
+    yield from rec(0)
+
+
+def count_canonical_assignments(
+    component_cores: Sequence[int],
+    num_nodes: int,
+    cores_per_node: int,
+) -> int:
+    """Count feasible canonical assignments without materializing them.
+
+    Memoized on (component index, multiset of opened-node capacities,
+    unopened node count): placing the next component on any opened node
+    of remaining capacity ``r`` leads to the same sub-count, so the
+    transition multiplies by the multiplicity of ``r`` instead of
+    branching per node.
+    """
+    require_positive_int("num_nodes", num_nodes)
+    require_positive_int("cores_per_node", cores_per_node)
+    cores = list(component_cores)
+    if not cores:
+        return 0
+    memo: Dict[Tuple[int, Tuple[int, ...], int], int] = {}
+
+    def rec(i: int, caps: Tuple[int, ...], unopened: int) -> int:
+        if i == len(cores):
+            return 1
+        key = (i, caps, unopened)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        c = cores[i]
+        total = 0
+        # multiplicity of each distinct remaining capacity
+        mult: Dict[int, int] = {}
+        for r in caps:
+            mult[r] = mult.get(r, 0) + 1
+        for r, m in mult.items():
+            if r >= c:
+                nxt = list(caps)
+                nxt.remove(r)
+                nxt.append(r - c)
+                total += m * rec(i + 1, tuple(sorted(nxt)), unopened)
+        if unopened > 0 and cores_per_node >= c:
+            nxt = tuple(sorted(caps + (cores_per_node - c,)))
+            total += rec(i + 1, nxt, unopened - 1)
+        memo[key] = total
+        return total
+
+    return rec(0, (), num_nodes)
+
+
+def count_raw_assignments(
+    component_cores: Sequence[int],
+    num_nodes: int,
+    cores_per_node: int,
+) -> int:
+    """Count feasible *labeled* assignments (no symmetry dedup).
+
+    Same capacity-multiset memoization as
+    :func:`count_canonical_assignments`, but every node starts opened:
+    an assignment to any of the ``m`` nodes sharing a remaining
+    capacity contributes ``m`` labeled variants.
+    """
+    require_positive_int("num_nodes", num_nodes)
+    require_positive_int("cores_per_node", cores_per_node)
+    cores = list(component_cores)
+    if not cores:
+        return 0
+    memo: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+
+    def rec(i: int, caps: Tuple[int, ...]) -> int:
+        if i == len(cores):
+            return 1
+        key = (i, caps)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        c = cores[i]
+        total = 0
+        mult: Dict[int, int] = {}
+        for r in caps:
+            mult[r] = mult.get(r, 0) + 1
+        for r, m in mult.items():
+            if r >= c:
+                nxt = list(caps)
+                nxt.remove(r)
+                nxt.append(r - c)
+                total += m * rec(i + 1, tuple(sorted(nxt)))
+        memo[key] = total
+        return total
+
+    return rec(0, tuple([cores_per_node] * num_nodes))
+
+
+def enumerate_canonical_placements(
+    spec: EnsembleSpec,
+    num_nodes: int,
+    cores_per_node: int,
+) -> Iterator[EnsemblePlacement]:
+    """Yield one placement per node-relabeling class of ``spec``.
+
+    Equivalent to the seed ``enumerate_placements(...,
+    dedup_symmetric=True)`` stream — same placements, same order —
+    without ever touching the infeasible or duplicate parts of the raw
+    ``nodes^components`` space.
+    """
+    cores = component_core_demands(spec)
+    for assignment in iter_canonical_assignments(
+        cores, num_nodes, cores_per_node
+    ):
+        yield assignment_to_placement(spec, assignment, num_nodes)

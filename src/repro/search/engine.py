@@ -1,0 +1,163 @@
+"""Streaming best-placement search over the canonical space.
+
+:func:`find_best_placement` fuses the three fast layers: canonical
+(RGS) enumeration feeds flat assignments straight into the
+:class:`~repro.search.cache.StageCache` — no intermediate placement
+objects, no per-candidate predictor runs — and only an *improving*
+candidate is materialized into an
+:class:`~repro.runtime.placement.EnsemblePlacement` and a full
+:class:`~repro.scheduler.objectives.PlacementScore`.
+
+Tie-breaking matches :class:`~repro.scheduler.policies
+.ExhaustiveSearchPolicy` exactly: candidates are visited in the seed
+enumerator's order and a new best requires a strictly greater score
+key, so the *first* optimum in enumeration order wins — the fast path
+returns the same placement the seed search would, asserted
+bit-identical in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.objective import objective_function
+from repro.dtl.base import DataTransportLayer
+from repro.faults.analytic import RobustnessTerm
+from repro.platform.cluster import Cluster
+from repro.platform.specs import make_cori_like_cluster
+from repro.runtime.spec import EnsembleSpec
+from repro.scheduler.objectives import PlacementScore
+from repro.search.batch import score_placements_batch
+from repro.search.canonical import (
+    assignment_to_placement,
+    component_core_demands,
+    enumerate_canonical_placements,
+    iter_canonical_assignments,
+)
+from repro.search.cache import StageCache
+from repro.util.errors import PlacementError
+from repro.util.validation import require_positive_int
+
+
+def find_best_placement(
+    spec: EnsembleSpec,
+    num_nodes: int,
+    cores_per_node: int,
+    cluster: Optional[Cluster] = None,
+    dtl: Optional[DataTransportLayer] = None,
+    robustness: Optional[RobustnessTerm] = None,
+    cache: Optional[StageCache] = None,
+    parallel: bool = False,
+    processes: Optional[int] = None,
+) -> Tuple[PlacementScore, int]:
+    """Exhaustively search the canonical space; return (best, evaluated).
+
+    Equivalent to scoring every placement of the seed enumerator with
+    :func:`~repro.scheduler.objectives.score_placement` and keeping the
+    first strict optimum — same winner, same score floats — but through
+    the canonical generator and the stage cache.
+
+    Parameters
+    ----------
+    spec / num_nodes / cores_per_node:
+        The ensemble and the node budget to search.
+    cluster / dtl / robustness:
+        Scoring context, as for ``score_placement``.
+    cache:
+        Optional shared :class:`StageCache` (created when omitted or
+        incompatible with ``(cluster, dtl)``).
+    parallel / processes:
+        Route scoring through :func:`~repro.search.batch
+        .score_placements_batch`'s pool (serial fallback applies).
+
+    Raises
+    ------
+    PlacementError
+        If no feasible placement exists within the budget.
+    """
+    require_positive_int("num_nodes", num_nodes)
+    require_positive_int("cores_per_node", cores_per_node)
+    if cache is None or not cache.matches(cluster, dtl):
+        cache = StageCache(cluster, dtl)
+
+    if parallel:
+        candidates = list(
+            enumerate_canonical_placements(spec, num_nodes, cores_per_node)
+        )
+        scores = score_placements_batch(
+            spec,
+            candidates,
+            cluster=cluster,
+            dtl=dtl,
+            robustness=robustness,
+            cache=cache,
+            parallel=True,
+            processes=processes,
+        )
+        best: Optional[PlacementScore] = None
+        for score in scores:
+            if best is None or score > best:
+                best = score
+        if best is None:
+            raise PlacementError(
+                f"no feasible placement over {num_nodes} nodes of "
+                f"{cores_per_node} cores"
+            )
+        return best, len(scores)
+
+    component_cores = component_core_demands(spec)
+    evaluated = 0
+    best = None
+    best_key: Optional[Tuple[float, float]] = None
+    robust_cluster: Optional[Cluster] = None
+    # candidates frequently repeat the exact indicator tuple (different
+    # node labels, same local patterns) — memoize F over it, which
+    # reuses the identical float rather than re-aggregating
+    objective_memo: dict = {}
+    for assignment in iter_canonical_assignments(
+        component_cores, num_nodes, cores_per_node
+    ):
+        evaluation = cache.evaluate_flat(spec, assignment, num_nodes)
+        evaluated += 1
+        indicator_key = tuple(evaluation.indicators)
+        objective = objective_memo.get(indicator_key)
+        if objective is None:
+            objective = objective_function(evaluation.indicators)
+            objective_memo[indicator_key] = objective
+        penalty = 0.0
+        if robustness is not None:
+            placement = assignment_to_placement(spec, assignment, num_nodes)
+            if cluster is None:
+                if robust_cluster is None:
+                    robust_cluster = make_cori_like_cluster(num_nodes)
+                penalty_cluster = robust_cluster
+            else:
+                penalty_cluster = cluster
+            penalty = robustness.penalty(
+                spec,
+                placement,
+                cluster=penalty_cluster,
+                dtl=dtl,
+                stages=evaluation.stages_by_name(spec),
+            )
+        # PlacementScore._key with num_nodes fixed across candidates:
+        # (utility, -makespan), strictly greater keeps the first optimum
+        key = (objective - penalty, -evaluation.worst_makespan)
+        if best_key is None or key > best_key:
+            best_key = key
+            best = PlacementScore(
+                placement=assignment_to_placement(
+                    spec, assignment, num_nodes
+                ),
+                objective=objective,
+                ensemble_makespan=evaluation.worst_makespan,
+                num_nodes=num_nodes,
+                member_indicators=tuple(evaluation.indicators),
+                robust_penalty=penalty,
+            )
+    if best is None:
+        raise PlacementError(
+            f"no feasible placement over {num_nodes} nodes of "
+            f"{cores_per_node} cores"
+        )
+    return best, evaluated

@@ -1,0 +1,104 @@
+"""Seed (pre-optimization) implementations, kept as the baseline.
+
+The fast engine's contract is *bit-identical results, less work* — the
+only way to keep that promise honest over time is to keep the slow
+implementations around and diff against them. This module preserves
+the original product-then-dedup enumerator exactly as it shipped; the
+property tests assert the canonical generator reproduces its stream
+and the benchmarks in ``scripts/bench_search.py`` measure the speedup
+against it. Nothing here is on any hot path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec
+from repro.util.validation import require_positive_int
+
+
+def canonical_signature(flat_assignment: Sequence[int]) -> Tuple[int, ...]:
+    """Relabel nodes by first appearance so isomorphic placements match."""
+    mapping: Dict[int, int] = {}
+    out: List[int] = []
+    for node in flat_assignment:
+        if node not in mapping:
+            mapping[node] = len(mapping)
+        out.append(mapping[node])
+    return tuple(out)
+
+
+def enumerate_placements_reference(
+    spec: EnsembleSpec,
+    num_nodes: int,
+    cores_per_node: int,
+    dedup_symmetric: bool = True,
+) -> Iterator[EnsemblePlacement]:
+    """The seed enumerator: walk ``nodes^components`` raw assignments,
+    reject infeasible ones, and (optionally) drop node-relabeling
+    duplicates with a ``seen`` set.
+
+    Exponential in the component count regardless of how small the
+    canonical space is — superseded by
+    :func:`repro.search.canonical.enumerate_canonical_placements`,
+    which yields the identical stream.
+    """
+    require_positive_int("num_nodes", num_nodes)
+    require_positive_int("cores_per_node", cores_per_node)
+
+    component_cores: List[int] = []
+    member_shapes: List[int] = []  # number of components per member
+    for member in spec.members:
+        member_shapes.append(1 + member.num_couplings)
+        component_cores.append(member.simulation.cores)
+        component_cores.extend(a.cores for a in member.analyses)
+
+    total_components = len(component_cores)
+    seen: set = set()
+
+    for assignment in itertools.product(
+        range(num_nodes), repeat=total_components
+    ):
+        demand: Dict[int, int] = {}
+        feasible = True
+        for node, cores in zip(assignment, component_cores):
+            demand[node] = demand.get(node, 0) + cores
+            if demand[node] > cores_per_node:
+                feasible = False
+                break
+        if not feasible:
+            continue
+        if dedup_symmetric:
+            sig = canonical_signature(assignment)
+            if sig in seen:
+                continue
+            seen.add(sig)
+
+        members: List[MemberPlacement] = []
+        cursor = 0
+        for shape in member_shapes:
+            chunk = assignment[cursor : cursor + shape]
+            cursor += shape
+            members.append(
+                MemberPlacement(
+                    simulation_node=chunk[0], analysis_nodes=tuple(chunk[1:])
+                )
+            )
+        yield EnsemblePlacement(num_nodes=num_nodes, members=tuple(members))
+
+
+def count_feasible_placements_reference(
+    spec: EnsembleSpec,
+    num_nodes: int,
+    cores_per_node: int,
+    dedup_symmetric: bool = True,
+) -> int:
+    """Seed counting: enumerate everything and count (for diffing)."""
+    return sum(
+        1
+        for _ in enumerate_placements_reference(
+            spec, num_nodes, cores_per_node, dedup_symmetric
+        )
+    )

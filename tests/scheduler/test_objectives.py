@@ -66,3 +66,52 @@ class TestScoreOrdering:
 
     def test_lower_makespan_breaks_remaining_ties(self):
         assert self._score(0.2, 2, 50) > self._score(0.2, 2, 100)
+
+    def test_equality_agrees_with_ordering(self):
+        # total-ordering consistency: a <= b and b <= a implies a == b
+        a = self._score(0.2, 2, 100)
+        b = self._score(0.2, 2, 100)
+        assert a <= b and b <= a
+        assert a == b
+        assert not (a != b)
+        assert hash(a) == hash(b)
+
+    def test_key_ties_compare_equal_across_placements(self):
+        # two different placements that tie on (utility, nodes,
+        # makespan) are equal for search purposes
+        a = self._score(0.2, 2, 100)
+        b = PlacementScore(
+            placement=EnsemblePlacement(
+                2, (MemberPlacement(1, (1,)),)
+            ),
+            objective=0.2,
+            ensemble_makespan=100,
+            num_nodes=2,
+            member_indicators=(0.2,),
+        )
+        assert a.placement != b.placement
+        assert a == b
+
+    def test_any_key_difference_breaks_equality(self):
+        assert self._score(0.2, 2, 100) != self._score(0.2, 2, 101)
+        assert self._score(0.2, 2, 100) != self._score(0.2, 3, 100)
+        assert self._score(0.3, 2, 100) != self._score(0.2, 2, 100)
+
+    def test_robust_penalty_enters_equality(self):
+        a = self._score(0.25, 2, 100)
+        b = PlacementScore(
+            placement=a.placement,
+            objective=0.5,
+            ensemble_makespan=100,
+            num_nodes=2,
+            member_indicators=(0.5,),
+            robust_penalty=0.25,
+        )
+        # same utility (0.25) on both sides -> equal, hashes agree
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_comparison_with_other_types(self):
+        a = self._score(0.2, 2, 100)
+        assert a != "not a score"
+        assert not (a == object())

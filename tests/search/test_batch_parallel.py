@@ -1,0 +1,134 @@
+"""Batch/parallel scoring and parallel trials: identical to serial.
+
+Parallelism in :mod:`repro.search.batch` and
+:func:`repro.experiments.base.run_configuration_trials` is an opt-in
+accelerator with a guaranteed serial fallback — on any host, with any
+worker count, the results must equal the serial ones exactly.
+"""
+
+from __future__ import annotations
+
+from repro.configs.generator import enumerate_placements
+from repro.configs.table2 import get_config
+from repro.experiments.base import run_configuration_trials
+from repro.faults.analytic import RobustnessTerm
+from repro.faults.models import RandomFailureModel
+from repro.faults.recovery import RetryBackoffPolicy
+from repro.scheduler.objectives import score_placement
+from repro.search import MIN_PARALLEL_BATCH, score_placements_batch
+from repro.search.cache import StageCache
+
+
+def _same_scores(batch, serial):
+    assert len(batch) == len(serial)
+    for got, want in zip(batch, serial):
+        assert got.placement == want.placement
+        assert got.objective == want.objective
+        assert got.ensemble_makespan == want.ensemble_makespan
+        assert got.member_indicators == want.member_indicators
+        assert got.robust_penalty == want.robust_penalty
+
+
+class TestScorePlacementsBatch:
+    def test_serial_batch_equals_map(self, two_member_spec):
+        placements = list(enumerate_placements(two_member_spec, 3, 32))
+        batch = score_placements_batch(two_member_spec, placements)
+        serial = [
+            score_placement(two_member_spec, p) for p in placements
+        ]
+        _same_scores(batch, serial)
+
+    def test_parallel_flag_changes_nothing(self, two_member_spec):
+        # with min_parallel lowered the pool path is exercised on
+        # multi-core hosts and the fallback on single-core ones — the
+        # contract is the same either way
+        placements = list(enumerate_placements(two_member_spec, 3, 32))
+        parallel = score_placements_batch(
+            two_member_spec, placements, parallel=True, min_parallel=2
+        )
+        serial = [
+            score_placement(two_member_spec, p) for p in placements
+        ]
+        _same_scores(parallel, serial)
+
+    def test_parallel_with_explicit_processes(self, two_member_spec):
+        placements = list(enumerate_placements(two_member_spec, 3, 32))
+        parallel = score_placements_batch(
+            two_member_spec, placements,
+            parallel=True, processes=2, min_parallel=2,
+        )
+        serial = [
+            score_placement(two_member_spec, p) for p in placements
+        ]
+        _same_scores(parallel, serial)
+
+    def test_batch_with_robustness(self, two_member_spec):
+        term = RobustnessTerm(
+            policy=RetryBackoffPolicy(),
+            model=RandomFailureModel(rate=0.01, seed=0),
+        )
+        placements = list(enumerate_placements(two_member_spec, 2, 32))
+        batch = score_placements_batch(
+            two_member_spec, placements, robustness=term
+        )
+        serial = [
+            score_placement(two_member_spec, p, robustness=term)
+            for p in placements
+        ]
+        _same_scores(batch, serial)
+
+    def test_shared_cache_is_reused(self, two_member_spec):
+        cache = StageCache()
+        placements = list(enumerate_placements(two_member_spec, 3, 32))
+        first = score_placements_batch(
+            two_member_spec, placements, cache=cache
+        )
+        misses = cache.stage_misses
+        second = score_placements_batch(
+            two_member_spec, placements, cache=cache
+        )
+        assert cache.stage_misses == misses  # warm: no new predictions
+        _same_scores(second, first)
+
+    def test_small_batches_stay_serial_by_default(self, two_member_spec):
+        placements = list(enumerate_placements(two_member_spec, 2, 32))
+        assert len(placements) < MIN_PARALLEL_BATCH
+        batch = score_placements_batch(
+            two_member_spec, placements, parallel=True
+        )
+        serial = [
+            score_placement(two_member_spec, p) for p in placements
+        ]
+        _same_scores(batch, serial)
+
+    def test_empty_batch(self, two_member_spec):
+        assert score_placements_batch(two_member_spec, []) == []
+
+
+class TestParallelTrials:
+    def test_parallel_trials_equal_serial(self):
+        config = get_config("Cc")
+        serial = run_configuration_trials(
+            config, trials=3, n_steps=4, timing_noise=0.05
+        )
+        parallel = run_configuration_trials(
+            config, trials=3, n_steps=4, timing_noise=0.05, parallel=True
+        )
+        assert [r.ensemble_makespan for r in parallel] == [
+            r.ensemble_makespan for r in serial
+        ]
+        assert [r.ensemble_name for r in parallel] == [
+            r.ensemble_name for r in serial
+        ]
+
+    def test_single_trial_parallel_flag_is_noop(self):
+        config = get_config("Cc")
+        serial = run_configuration_trials(
+            config, trials=1, n_steps=4, timing_noise=0.0
+        )
+        parallel = run_configuration_trials(
+            config, trials=1, n_steps=4, timing_noise=0.0, parallel=True
+        )
+        assert (
+            parallel[0].ensemble_makespan == serial[0].ensemble_makespan
+        )

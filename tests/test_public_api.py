@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.platform",
     "repro.runtime",
     "repro.scheduler",
+    "repro.search",
     "repro.util",
 ]
 
