@@ -1,0 +1,70 @@
+"""Benchmark: cost and inertness of runtime invariant checking.
+
+Pins the two performance claims of the verification subsystem: an
+instrumented run stays byte-identical to the uninstrumented one, and
+the invariant checker's overhead on the smoke scenario stays within
+the documented 25 % envelope (docs/TESTING.md).
+"""
+
+import json
+import time
+
+from repro.configs.base import build_spec
+from repro.configs.table2 import TABLE2_CONFIGS
+from repro.monitoring.traceio import tracer_to_dict
+from repro.runtime.runner import run_ensemble
+from repro.verify.oracles import verify_scenarios
+
+#: documented ceiling on the verified-run slowdown (ratio, not %).
+MAX_VERIFY_SLOWDOWN = 1.25
+
+
+def _smoke(verify, n_steps=8, noise=0.02):
+    config = TABLE2_CONFIGS["C1.5"]
+    spec = build_spec(config, n_steps=n_steps)
+    return run_ensemble(
+        spec, config.placement(), seed=5, timing_noise=noise, verify=verify
+    )
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_verify_overhead(benchmark):
+    plain = _best_of(lambda: _smoke(verify=False))
+    checked = _best_of(lambda: _smoke(verify=True))
+    ratio = checked / plain
+    benchmark(lambda: _smoke(verify=True))
+    print(
+        f"\nverify overhead: plain={plain * 1e3:.1f}ms "
+        f"checked={checked * 1e3:.1f}ms ratio={ratio:.3f} "
+        f"(ceiling {MAX_VERIFY_SLOWDOWN})"
+    )
+    assert ratio <= MAX_VERIFY_SLOWDOWN, (
+        f"invariant checking slows the smoke scenario by {ratio:.2f}x, "
+        f"above the documented {MAX_VERIFY_SLOWDOWN}x ceiling"
+    )
+
+
+def test_bench_verify_is_inert(benchmark):
+    plain = _smoke(verify=False)
+    checked = benchmark(lambda: _smoke(verify=True))
+    assert json.dumps(
+        tracer_to_dict(plain.tracer), sort_keys=True
+    ) == json.dumps(tracer_to_dict(checked.tracer), sort_keys=True)
+    assert plain.ensemble_makespan == checked.ensemble_makespan
+
+
+def test_bench_oracle_smoke(benchmark):
+    reports = benchmark(
+        lambda: verify_scenarios(names=["Cf", "C1.5"], n_steps=4)
+    )
+    assert all(r.passed for r in reports)
+    for report in reports:
+        print("\n" + report.to_text())

@@ -15,10 +15,18 @@ Two measurements, each with a built-in exactness check:
   Identical placements and move statistics are asserted.
 
 Writes ``BENCH_search.json`` (exhaustive speedup, annealing speedup,
-problem sizes, floors) and exits non-zero if a floor is missed — so CI
-can run ``python scripts/bench_search.py --quick`` as a regression
-gate. ``--check`` re-validates an existing results file against the
-floors without re-running anything.
+problem sizes, floors, correctness reports) and exits non-zero on
+regression — so CI can run ``python scripts/bench_search.py --quick``
+as a regression gate. The two failure classes are never confused:
+
+- exit **1** — a *performance* floor was missed (speedup too small);
+- exit **2** — a *correctness* divergence: the fast path disagreed
+  with the seed path, reported as a
+  :class:`repro.verify.oracles.DivergenceReport` on stdout and in the
+  results JSON.
+
+``--check`` re-validates an existing results file against the floors
+(and its stored correctness verdicts) without re-running anything.
 
 Usage:
     python scripts/bench_search.py [--quick] [--output PATH]
@@ -44,6 +52,10 @@ from repro.scheduler.objectives import score_placement  # noqa: E402
 from repro.search import find_best_placement  # noqa: E402
 from repro.search.reference import (  # noqa: E402
     enumerate_placements_reference,
+)
+from repro.verify.oracles import (  # noqa: E402
+    DivergenceReport,
+    MetricCheck,
 )
 
 #: required speedups — the regression floors CI enforces.
@@ -78,7 +90,7 @@ def _annealing_spec() -> EnsembleSpec:
     )
 
 
-def bench_exhaustive(num_nodes: int) -> dict:
+def bench_exhaustive(num_nodes: int) -> tuple:
     """Seed search loop vs the canonical+cached engine, one budget."""
     spec = _exhaustive_spec()
 
@@ -101,15 +113,45 @@ def bench_exhaustive(num_nodes: int) -> dict:
     t_fast = time.perf_counter() - t0
 
     assert seed_best is not None
-    assert fast_evaluated == seed_evaluated
-    assert fast_best.placement == seed_best.placement
-    assert abs(fast_best.objective - seed_best.objective) <= 1e-12
-    assert (
-        abs(fast_best.ensemble_makespan - seed_best.ensemble_makespan)
-        <= 1e-12
+    report = DivergenceReport(
+        scenario="bench-exhaustive",
+        checks=(
+            MetricCheck(
+                "ensemble",
+                "candidates",
+                "seed-vs-fast",
+                float(seed_evaluated),
+                float(fast_evaluated),
+                0.0,
+            ),
+            MetricCheck(
+                "ensemble",
+                "same_placement",
+                "seed-vs-fast",
+                1.0,
+                1.0 if fast_best.placement == seed_best.placement else 0.0,
+                0.0,
+            ),
+            MetricCheck(
+                "ensemble",
+                "objective",
+                "seed-vs-fast",
+                seed_best.objective,
+                fast_best.objective,
+                0.0,
+            ),
+            MetricCheck(
+                "ensemble",
+                "makespan",
+                "seed-vs-fast",
+                seed_best.ensemble_makespan,
+                fast_best.ensemble_makespan,
+                0.0,
+            ),
+        ),
     )
 
-    return {
+    row = {
         "num_nodes": num_nodes,
         "cores_per_node": CORES_PER_NODE,
         "candidates": seed_evaluated,
@@ -118,9 +160,10 @@ def bench_exhaustive(num_nodes: int) -> dict:
         "speedup": t_seed / t_fast,
         "objective": fast_best.objective,
     }
+    return row, report
 
 
-def bench_annealing(seed: int = 0) -> dict:
+def bench_annealing(seed: int = 0) -> tuple:
     """Full re-scoring annealer vs the delta-evaluation annealer."""
     spec = _annealing_spec()
     num_nodes = 6
@@ -138,12 +181,45 @@ def bench_annealing(seed: int = 0) -> dict:
     fast_placement = fast.place(spec, num_nodes, CORES_PER_NODE)
     t_fast = time.perf_counter() - t0
 
-    assert fast_placement == full_placement
-    assert fast.stats.evaluations == full.stats.evaluations
-    assert fast.stats.accepted == full.stats.accepted
-    assert fast.stats.improved == full.stats.improved
+    report = DivergenceReport(
+        scenario="bench-annealing",
+        checks=(
+            MetricCheck(
+                "ensemble",
+                "same_placement",
+                "full-vs-incremental",
+                1.0,
+                1.0 if fast_placement == full_placement else 0.0,
+                0.0,
+            ),
+            MetricCheck(
+                "ensemble",
+                "evaluations",
+                "full-vs-incremental",
+                float(full.stats.evaluations),
+                float(fast.stats.evaluations),
+                0.0,
+            ),
+            MetricCheck(
+                "ensemble",
+                "accepted",
+                "full-vs-incremental",
+                float(full.stats.accepted),
+                float(fast.stats.accepted),
+                0.0,
+            ),
+            MetricCheck(
+                "ensemble",
+                "improved",
+                "full-vs-incremental",
+                float(full.stats.improved),
+                float(fast.stats.improved),
+                0.0,
+            ),
+        ),
+    )
 
-    return {
+    row = {
         "num_nodes": num_nodes,
         "cores_per_node": CORES_PER_NODE,
         "seed": seed,
@@ -152,6 +228,7 @@ def bench_annealing(seed: int = 0) -> dict:
         "incremental_seconds": t_fast,
         "speedup": t_full / t_fast,
     }
+    return row, report
 
 
 def run(quick: bool) -> dict:
@@ -166,8 +243,10 @@ def run(quick: bool) -> dict:
         warm, find_best_placement(warm, 2, CORES_PER_NODE)[0].placement
     )
 
-    exhaustive = bench_exhaustive(num_nodes=6 if quick else 7)
-    annealing = bench_annealing()
+    exhaustive, exhaustive_report = bench_exhaustive(
+        num_nodes=6 if quick else 7
+    )
+    annealing, annealing_report = bench_annealing()
     return {
         "benchmark": "search",
         "mode": "quick" if quick else "full",
@@ -177,7 +256,32 @@ def run(quick: bool) -> dict:
         },
         "exhaustive": exhaustive,
         "annealing": annealing,
+        "correctness": [
+            exhaustive_report.to_dict(),
+            annealing_report.to_dict(),
+        ],
     }
+
+
+def check_correctness(results: dict) -> bool:
+    """Print stored divergence reports; False on any divergence."""
+    ok = True
+    for payload in results.get("correctness", []):
+        status = "ok" if payload["passed"] else "DIVERGED"
+        print(
+            f"{payload['scenario']}: correctness {status} "
+            f"({payload['num_checks']} checks, "
+            f"{payload['num_failures']} failures)"
+        )
+        for failure in payload["failures"]:
+            print(
+                f"  FAIL [{failure['paths']}] "
+                f"{failure['scope']}/{failure['metric']}: "
+                f"ref={failure['reference']!r} got={failure['candidate']!r}"
+            )
+        if not payload["passed"]:
+            ok = False
+    return ok
 
 
 def check_floors(results: dict) -> bool:
@@ -224,6 +328,8 @@ def main() -> int:
             print(f"no results file at {args.output}", file=sys.stderr)
             return 1
         results = json.loads(args.output.read_text())
+        if not check_correctness(results):
+            return 2
         return 0 if check_floors(results) else 1
 
     results = run(quick=args.quick)
@@ -239,6 +345,8 @@ def main() -> int:
         f"full {results['annealing']['full_seconds']:.2f}s -> "
         f"incremental {results['annealing']['incremental_seconds']:.2f}s"
     )
+    if not check_correctness(results):
+        return 2
     return 0 if check_floors(results) else 1
 
 

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Regenerate or check the golden-trace store (tests/golden/).
+
+Usage::
+
+    PYTHONPATH=src python scripts/update_goldens.py           # rewrite
+    PYTHONPATH=src python scripts/update_goldens.py --check   # verify
+
+Without flags, every canonical scenario in
+``repro.verify.goldens.GOLDEN_SCENARIOS`` is re-run and its golden
+file rewritten (the executor is deterministic, so running this twice
+yields no diff). With ``--check``, the store is compared against fresh
+runs and the structural diff of every mismatching scenario is printed;
+the exit code is non-zero on any mismatch, which is how CI and
+``tests/verify/test_goldens.py`` consume it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.verify.goldens import check_goldens, write_goldens  # noqa: E402
+
+GOLDEN_DIR = REPO / "tests" / "golden"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="diff the store against fresh runs instead of rewriting",
+    )
+    parser.add_argument(
+        "--dir",
+        default=str(GOLDEN_DIR),
+        help=f"golden store directory (default: {GOLDEN_DIR})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        mismatches = check_goldens(args.dir)
+        if not mismatches:
+            print(f"goldens up to date in {args.dir}")
+            return 0
+        for name, diff in mismatches.items():
+            print(f"{name}: MISMATCH")
+            for line in diff:
+                print(f"  {line}")
+        print(
+            f"{len(mismatches)} golden(s) out of date; regenerate with "
+            f"scripts/update_goldens.py after confirming the behaviour "
+            f"change is intended",
+            file=sys.stderr,
+        )
+        return 1
+
+    written = write_goldens(args.dir)
+    print(f"wrote {len(written)} goldens to {args.dir}:")
+    for name in written:
+        print(f"  {name}.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,16 @@ Commands
     Run the full resilience sweep (rates x recovery policies) instead.
 ``faults --validate``
     Run the surrogate-vs-DES validation table instead.
+``verify [configs...] [--faults] [--json]``
+    Run the differential oracle harness over the canonical Table 2
+    scenarios (analytic vs cached search vs surrogate vs DES) and
+    print each scenario's divergence report; exits non-zero on any
+    divergence. With ``--faults`` the fault surrogate is additionally
+    compared against injected DES trials.
+``run --verify`` / ``faults --verify``
+    Execute with the runtime invariant checker hooked into the DES
+    stage choke point; violations abort the run and the audit summary
+    is printed.
 ``list``
     List the available configurations with their placements.
 """
@@ -66,16 +76,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.runtime.executor import EnsembleExecutor
+
     spec = build_spec(config, n_steps=args.steps)
-    result = run_ensemble(
+    executor = EnsembleExecutor(
         spec,
         config.placement(),
         seed=args.seed,
         timing_noise=args.noise,
+        verify=args.verify,
     )
+    result = executor.run()
     print(summary_report(result))
     print()
     print(gantt(result.tracer, width=args.width))
+    if executor.invariant_report is not None:
+        print()
+        print(executor.invariant_report.to_text())
     return 0
 
 
@@ -291,20 +308,24 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         )
         return 2
 
+    from repro.runtime.executor import EnsembleExecutor
+
     spec = build_spec(config, n_steps=args.steps)
     placement = config.placement()
     model = _build_failure_model(args, kinds, placement)
     baseline = run_ensemble(
         spec, placement, seed=args.seed, timing_noise=args.noise
     )
-    result = run_ensemble(
+    executor = EnsembleExecutor(
         spec,
         placement,
         seed=args.seed,
         timing_noise=args.noise,
         failure_model=model,
         recovery=make_policy(args.policy),
+        verify=args.verify,
     )
+    result = executor.run()
     print(
         f"{args.config} under injection: model={args.model}, "
         f"rate={args.rate}, policy={args.policy}, kinds={args.kinds}"
@@ -330,6 +351,36 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         f"F(P^{{U,A,P}})       ideal {ideal:.6f} -> "
         f"under failures {robust:.6f} ({retained:.1%} retained)"
     )
+    if executor.invariant_report is not None:
+        print()
+        print(executor.invariant_report.to_text())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.verify.oracles import verify_scenarios
+
+    reports = verify_scenarios(
+        names=args.configs or None,
+        n_steps=args.steps,
+        include_faults=args.faults,
+    )
+    if args.json:
+        print(
+            json.dumps([r.to_dict() for r in reports], indent=2)
+        )
+    else:
+        for report in reports:
+            print(report.to_text(verbose=args.verbose))
+    failed = [r.scenario for r in reports if not r.passed]
+    if failed:
+        print(
+            f"divergence detected in: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -350,6 +401,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--noise", type=float, default=0.02)
     p_run.add_argument("--width", type=int, default=80)
+    p_run.add_argument(
+        "--verify",
+        action="store_true",
+        help="audit the run with the DES invariant checker",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_figs = sub.add_parser("figures", help="regenerate all paper artifacts")
@@ -445,7 +501,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--trials", type=int, default=2)
     p_faults.add_argument("--seed", type=int, default=0)
     p_faults.add_argument("--noise", type=float, default=0.0)
+    p_faults.add_argument(
+        "--verify",
+        action="store_true",
+        help="audit the injected run with the DES invariant checker",
+    )
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="run the differential oracle harness over Table 2 scenarios",
+    )
+    p_verify.add_argument(
+        "configs",
+        nargs="*",
+        help="Table 2 configuration names (default: all)",
+    )
+    p_verify.add_argument("--steps", type=int, default=6)
+    p_verify.add_argument(
+        "--faults",
+        action="store_true",
+        help="also compare the fault surrogate against DES trials",
+    )
+    p_verify.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the divergence reports as JSON",
+    )
+    p_verify.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print every check, not only failures",
+    )
+    p_verify.set_defaults(func=_cmd_verify)
 
     return parser
 

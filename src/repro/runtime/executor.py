@@ -26,7 +26,7 @@ the data path implement the same protocol.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Set
+from typing import TYPE_CHECKING, Generator, List, Optional, Set
 
 import numpy as np
 
@@ -54,6 +54,9 @@ from repro.runtime.spec import EnsembleSpec
 from repro.util.errors import ProtocolError
 from repro.util.rng import RandomSource
 from repro.util.validation import require_non_negative
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.verify.invariants import InvariantChecker, InvariantReport
 
 
 class EnsembleExecutor:
@@ -98,6 +101,17 @@ class EnsembleExecutor:
         Recovery policy applied to injected crashes (default:
         retry with exponential backoff). Ignored without a
         ``failure_model``.
+    verify:
+        When True, an :class:`~repro.verify.invariants
+        .InvariantChecker` audits the run at the stage choke point
+        (clock monotonicity, step ordering, Eq. 1 period consistency,
+        resource/DTL conservation, Eq. 3 efficiency bounds) and
+        :meth:`run` raises :class:`~repro.verify.invariants
+        .InvariantViolation` on any violation; the report is kept on
+        :attr:`invariant_report` either way. The checker only *reads*
+        the clock, so a verified run's trace is byte-identical to an
+        unverified one; when False the only extra cost is an
+        ``is None`` test per stage.
     """
 
     def __init__(
@@ -113,6 +127,7 @@ class EnsembleExecutor:
         congestion_aware: bool = False,
         failure_model: Optional[FailureModel] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        verify: bool = False,
     ) -> None:
         require_non_negative("timing_noise", timing_noise)
         self.spec = spec
@@ -129,7 +144,9 @@ class EnsembleExecutor:
         self.congestion_aware = congestion_aware
         self.failure_model = failure_model
         self.recovery = recovery
+        self.verify = verify
         self.fault_log: Optional[FaultLog] = None
+        self.invariant_report: Optional[InvariantReport] = None
 
     def run(self) -> ExecutionResult:
         """Execute the ensemble; returns the full result bundle."""
@@ -154,16 +171,27 @@ class EnsembleExecutor:
             schedule = self.failure_model.build_schedule(self.spec)
             injector = FaultInjector(schedule, self.recovery)
             self.fault_log = injector.log
+        checker = None
+        if self.verify:
+            from repro.verify.invariants import InvariantChecker
+
+            checker = InvariantChecker(
+                exact=(
+                    self.timing_noise == 0.0
+                    and injector is None
+                    and not self.congestion_aware
+                )
+            )
 
         member_procs = []
         for member in effective:
             procs = self._launch_member(
-                env, member, tracer, root_rng, nics, injector
+                env, member, tracer, root_rng, nics, injector, checker
             )
             member_procs.extend(procs)
         env.run()
 
-        return build_result(
+        result = build_result(
             spec=self.spec,
             placement=self.placement,
             effective=effective,
@@ -173,6 +201,19 @@ class EnsembleExecutor:
             noise=self.timing_noise,
             fault_log=self.fault_log,
         )
+        if checker is not None:
+            from repro.verify.invariants import InvariantViolation
+
+            checker.check_periods()
+            if nics is not None:
+                checker.check_resources(nics.values())
+            if self.stage_real_chunks:
+                checker.check_dtl(self.dtl)
+            checker.check_result(result)
+            self.invariant_report = checker.report()
+            if not self.invariant_report.passed:
+                raise InvariantViolation(self.invariant_report.to_text())
+        return result
 
     # -- process construction ---------------------------------------------------
     def _launch_member(
@@ -183,6 +224,7 @@ class EnsembleExecutor:
         root_rng: RandomSource,
         nics=None,
         injector: Optional[FaultInjector] = None,
+        checker: Optional[InvariantChecker] = None,
     ):
         n = member.n_steps
         written: List[Event] = [env.event() for _ in range(n)]
@@ -199,7 +241,7 @@ class EnsembleExecutor:
             env.process(
                 _simulation_process(
                     env, member, tracer, sim_rng, noise, written, all_read,
-                    dtl, injector, dropped,
+                    dtl, injector, dropped, checker,
                 )
             )
         ]
@@ -220,6 +262,7 @@ class EnsembleExecutor:
                         nics,
                         injector,
                         dropped,
+                        checker,
                     )
                 )
             )
@@ -237,31 +280,39 @@ def _stage(
     step_time: float,
     producer: Optional[str] = None,
     body=None,
+    checker: Optional[InvariantChecker] = None,
 ) -> Generator:
     """Run one timed stage, routing through the fault injector if any.
 
     The single choke point through which every S/W/R/A stage's waiting
-    flows — injectors perturb here, so the coupling-protocol logic in
-    the process functions below never forks on the fault path. Without
-    an injector (or with nothing scheduled at this site) the emitted
-    event sequence is exactly the baseline's.
+    flows — injectors perturb here, and the invariant checker (when
+    verification is on) observes each completed stage here, so the
+    coupling-protocol logic in the process functions below never forks
+    on either path. Without an injector (or with nothing scheduled at
+    this site) the emitted event sequence is exactly the baseline's;
+    the checker only reads ``env.now`` and never schedules events.
     """
+    start = env.now if checker is not None else 0.0
     if injector is None:
         if body is None:
             yield env.timeout(duration)
         else:
             yield from body(1.0)
-        return
-    ctx = StageContext(
-        member=member_name,
-        component=component,
-        stage=stage,
-        step=step,
-        duration=duration,
-        step_time=step_time,
-        producer=producer,
-    )
-    yield from injector.execute(env, ctx, body)
+    else:
+        ctx = StageContext(
+            member=member_name,
+            component=component,
+            stage=stage,
+            step=step,
+            duration=duration,
+            step_time=step_time,
+            producer=producer,
+        )
+        yield from injector.execute(env, ctx, body)
+    if checker is not None:
+        checker.observe_stage(
+            member_name, component, stage, step, start, env.now, duration
+        )
 
 
 def _simulation_process(
@@ -275,6 +326,7 @@ def _simulation_process(
     dtl: Optional[DataTransportLayer] = None,
     injector: Optional[FaultInjector] = None,
     dropped: Optional[Set[str]] = None,
+    checker: Optional[InvariantChecker] = None,
 ):
     """S -> I^S -> W per step, enforcing W_{i+1} after all R_i."""
     sim = member.simulation
@@ -284,6 +336,7 @@ def _simulation_process(
         yield from _stage(
             env, injector, member.name, sim.name, "S", step,
             rng.uniform_jitter(sim.compute_time, noise), step_time,
+            checker=checker,
         )
         t1 = env.now
         tracer.record(sim.name, Stage.SIM_COMPUTE, step, t0, t1)
@@ -296,6 +349,7 @@ def _simulation_process(
         yield from _stage(
             env, injector, member.name, sim.name, "W", step,
             rng.uniform_jitter(sim.io_time, noise), step_time,
+            checker=checker,
         )
         t3 = env.now
         tracer.record(sim.name, Stage.SIM_WRITE, step, t2, t3)
@@ -331,6 +385,7 @@ def _analysis_process(
     nics=None,
     injector: Optional[FaultInjector] = None,
     dropped: Optional[Set[str]] = None,
+    checker: Optional[InvariantChecker] = None,
 ):
     """R -> A -> I^A per step; R_i gated on W_i."""
     ana = member.analyses[index]
@@ -375,6 +430,7 @@ def _analysis_process(
                 yield from _stage(
                     env, injector, member.name, ana.name, "R", step,
                     read_duration, step_time, producer=sim_name, body=body,
+                    checker=checker,
                 )
             except AnalysisDropped:
                 tracer.record(ana.name, Stage.ANA_READ, step, t1, env.now)
@@ -397,6 +453,7 @@ def _analysis_process(
                 yield from _stage(
                     env, injector, member.name, ana.name, "A", step,
                     rng.uniform_jitter(ana.compute_time, noise), step_time,
+                    checker=checker,
                 )
             except AnalysisDropped:
                 tracer.record(ana.name, Stage.ANA_COMPUTE, step, t2, env.now)

@@ -25,6 +25,7 @@ def run_ensemble(
     stage_real_chunks: bool = False,
     failure_model: Optional[FailureModel] = None,
     recovery: Optional[RecoveryPolicy] = None,
+    verify: bool = False,
 ) -> ExecutionResult:
     """Execute ``spec`` under ``placement`` and return the results.
 
@@ -52,4 +53,5 @@ def run_ensemble(
         stage_real_chunks=stage_real_chunks,
         failure_model=failure_model,
         recovery=recovery,
+        verify=verify,
     ).run()

@@ -1,0 +1,252 @@
+"""Golden-trace regression store: canonical runs frozen as JSON.
+
+A *golden* is the full, byte-stable record of one canonical small
+scenario: the scenario parameters, the DES stage trace (via
+:func:`~repro.monitoring.traceio.tracer_to_dict`), the distilled
+makespans and objective, and the fault schedule the run was injected
+with. Because the executor is deterministic for a fixed seed, a golden
+regenerates to the identical canonical JSON on every machine — any
+diff is a behaviour change, caught before it ships.
+
+The store lives in ``tests/golden/`` (one ``<name>.json`` per
+scenario); ``scripts/update_goldens.py`` regenerates it and
+``tests/verify/test_goldens.py`` enforces it. This module is
+path-agnostic: callers pass the directory, so the library never
+hard-codes the test tree.
+
+Scenario coverage: the three canonical Table 2 shapes (fully
+co-located, fully distributed, partially co-located), one noisy run
+(seeded jitter), and one fault-injected run (seeded crash/straggler
+schedule with retry recovery) — together they pin the protocol logic,
+the noise streams, and the injection path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.indicators import FINAL_STAGE_ORDER
+from repro.faults.models import FaultKind, RandomFailureModel
+from repro.monitoring.traceio import tracer_to_dict
+from repro.runtime.runner import run_ensemble
+from repro.util.errors import ValidationError
+
+#: bump when the golden payload layout changes (regenerate the store).
+GOLDEN_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GoldenScenario:
+    """One canonical scenario pinned by the golden store.
+
+    ``config`` names a Table 2 configuration; ``fault_rate`` > 0 runs
+    under a seeded :class:`~repro.faults.models.RandomFailureModel`
+    (crash + straggler kinds) with the default retry recovery.
+    """
+
+    name: str
+    config: str
+    n_steps: int = 4
+    seed: int = 0
+    noise: float = 0.0
+    fault_rate: float = 0.0
+    fault_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("golden scenario name must be non-empty")
+        if self.n_steps < 1:
+            raise ValidationError(
+                f"n_steps must be >= 1, got {self.n_steps!r}"
+            )
+
+
+#: The canonical golden set. Small on purpose: goldens are regression
+#: tripwires, not coverage — each scenario pins one behaviour axis.
+GOLDEN_SCENARIOS: Tuple[GoldenScenario, ...] = (
+    GoldenScenario(name="cf-colocated", config="Cf"),
+    GoldenScenario(name="cc-distributed", config="Cc"),
+    GoldenScenario(name="c15-partial", config="C1.5"),
+    GoldenScenario(name="c15-noisy", config="C1.5", noise=0.02, seed=7),
+    GoldenScenario(
+        name="c15-faulted",
+        config="C1.5",
+        n_steps=6,
+        fault_rate=0.15,
+        fault_seed=3,
+    ),
+)
+
+
+def _scenario_model(scenario: GoldenScenario) -> Optional[RandomFailureModel]:
+    if scenario.fault_rate <= 0.0:
+        return None
+    return RandomFailureModel(
+        rate=scenario.fault_rate,
+        kinds=(FaultKind.CRASH, FaultKind.STRAGGLER),
+        seed=scenario.fault_seed,
+    )
+
+
+def build_golden(scenario: GoldenScenario) -> dict:
+    """Run one scenario and freeze it into a golden payload dict."""
+    from repro.configs.base import build_spec
+    from repro.configs.table2 import TABLE2_CONFIGS
+
+    config = TABLE2_CONFIGS.get(scenario.config)
+    if config is None:
+        raise ValidationError(
+            f"golden scenario {scenario.name!r} names unknown "
+            f"configuration {scenario.config!r}"
+        )
+    spec = build_spec(config, n_steps=scenario.n_steps)
+    model = _scenario_model(scenario)
+    fault_events: List[dict] = []
+    if model is not None:
+        fault_events = [
+            {
+                "member": e.member,
+                "component": e.component,
+                "step": e.step,
+                "kind": e.kind.value,
+                "stage": e.stage,
+                "magnitude": e.magnitude,
+                "repeats": e.repeats,
+            }
+            for e in model.build_schedule(spec).events
+        ]
+    result = run_ensemble(
+        spec,
+        config.placement(),
+        seed=scenario.seed,
+        timing_noise=scenario.noise,
+        failure_model=model,
+    )
+    return {
+        "format": GOLDEN_FORMAT_VERSION,
+        "scenario": {
+            "name": scenario.name,
+            "config": scenario.config,
+            "n_steps": scenario.n_steps,
+            "seed": scenario.seed,
+            "noise": scenario.noise,
+            "fault_rate": scenario.fault_rate,
+            "fault_seed": scenario.fault_seed,
+        },
+        "ensemble_makespan": result.ensemble_makespan,
+        "member_makespans": dict(sorted(result.member_makespans.items())),
+        "objective": result.objective(FINAL_STAGE_ORDER),
+        "fault_events": fault_events,
+        "trace": tracer_to_dict(result.tracer),
+    }
+
+
+def canonical_json(payload: dict) -> str:
+    """Serialize a payload to the byte-stable on-disk form."""
+    return json.dumps(payload, sort_keys=True, indent=1) + "\n"
+
+
+def golden_path(directory: Union[str, Path], name: str) -> Path:
+    return Path(directory) / f"{name}.json"
+
+
+def load_golden(path: Union[str, Path]) -> dict:
+    """Read one golden payload from disk."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise ValidationError(f"golden file missing: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ValidationError(
+            f"golden file {path} is not valid JSON: {exc}"
+        ) from exc
+    version = payload.get("format")
+    if version != GOLDEN_FORMAT_VERSION:
+        raise ValidationError(
+            f"golden file {path} has format {version!r}, expected "
+            f"{GOLDEN_FORMAT_VERSION} (regenerate with "
+            f"scripts/update_goldens.py)"
+        )
+    return payload
+
+
+def diff_goldens(expected: dict, actual: dict, limit: int = 20) -> List[str]:
+    """Human-readable structural diff between two golden payloads.
+
+    Returns at most ``limit`` difference lines (empty when identical —
+    identity is judged on the canonical JSON, so float formatting can
+    never mask a drift).
+    """
+    if canonical_json(expected) == canonical_json(actual):
+        return []
+    lines: List[str] = []
+
+    def walk(path: str, exp, act) -> None:
+        if len(lines) >= limit:
+            return
+        if type(exp) is not type(act):
+            lines.append(
+                f"{path}: type {type(exp).__name__} -> {type(act).__name__}"
+            )
+            return
+        if isinstance(exp, dict):
+            for key in sorted(set(exp) | set(act)):
+                if key not in exp:
+                    lines.append(f"{path}.{key}: added")
+                elif key not in act:
+                    lines.append(f"{path}.{key}: removed")
+                else:
+                    walk(f"{path}.{key}", exp[key], act[key])
+        elif isinstance(exp, list):
+            if len(exp) != len(act):
+                lines.append(
+                    f"{path}: length {len(exp)} -> {len(act)}"
+                )
+            for i, (e, a) in enumerate(zip(exp, act)):
+                walk(f"{path}[{i}]", e, a)
+        elif exp != act:
+            lines.append(f"{path}: {exp!r} -> {act!r}")
+
+    walk("$", expected, actual)
+    if len(lines) >= limit:
+        lines = lines[:limit] + ["... (diff truncated)"]
+    return lines
+
+
+def check_goldens(
+    directory: Union[str, Path],
+) -> Dict[str, List[str]]:
+    """Regenerate every scenario and diff against the stored goldens.
+
+    Returns ``{scenario_name: diff_lines}`` for scenarios that
+    mismatch (a missing file reports as a single-line diff); an empty
+    dict means the store is up to date.
+    """
+    mismatches: Dict[str, List[str]] = {}
+    for scenario in GOLDEN_SCENARIOS:
+        path = golden_path(directory, scenario.name)
+        actual = build_golden(scenario)
+        try:
+            expected = load_golden(path)
+        except ValidationError as exc:
+            mismatches[scenario.name] = [str(exc)]
+            continue
+        diff = diff_goldens(expected, actual)
+        if diff:
+            mismatches[scenario.name] = diff
+    return mismatches
+
+
+def write_goldens(directory: Union[str, Path]) -> List[str]:
+    """(Re)generate every golden file; returns the names written."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[str] = []
+    for scenario in GOLDEN_SCENARIOS:
+        payload = build_golden(scenario)
+        golden_path(out, scenario.name).write_text(canonical_json(payload))
+        written.append(scenario.name)
+    return written

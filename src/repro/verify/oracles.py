@@ -1,0 +1,488 @@
+"""Differential oracle harness: one scenario, every evaluation path.
+
+The repo evaluates a placement four independent ways — the closed-form
+steady-state model (:mod:`repro.runtime.analytic`, Eqs. 1-3, 5-9), the
+memoized search path (:mod:`repro.search`), the analytic fault
+surrogate (:mod:`repro.faults.analytic`), and the DES executor
+(:mod:`repro.runtime.executor`). The paper's claims are only as
+trustworthy as the agreement between those paths, so this module runs
+the *same* ``(spec, placement)`` through all of them and asserts
+structured agreement in three tiers:
+
+- **Tier 0 (exact)** — paths that share the effective-stage model must
+  agree bit-for-bit: :class:`~repro.search.cache.StageCache` stages vs
+  the uncached predictor, cached vs uncached
+  :func:`~repro.scheduler.objectives.score_placement`, and the
+  surrogate's failure-free baseline. Tolerance is literally 0.0.
+- **Tier 1 (tolerance-banded)** — the DES executor adds protocol
+  dynamics; its noise-free steady-state estimates must match the
+  analytic prediction within per-metric relative tolerances
+  (:data:`DEFAULT_TOLERANCES`).
+- **Tier 2 (envelope)** — under fault injection, the first-order
+  surrogate tracks the DES trial mean within the accuracy envelope
+  documented in ``docs/FAULT_MODELS.md``.
+
+Every comparison is a :class:`MetricCheck` inside a machine-readable
+:class:`DivergenceReport` (``to_dict``/``to_text``), so CI, the
+benchmarks, and debugging sessions all see *which* metric diverged,
+by how much, and against which tolerance — a perf regression and a
+correctness regression are never confused.
+
+The ``predictor`` and ``score_fn`` hooks exist so the test suite can
+prove the harness has teeth: substituting a mutated copy (e.g. an
+off-by-one in the Eq. 1 period) must produce a failing report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.indicators import (
+    FINAL_STAGE_ORDER,
+    MemberMeasurement,
+    apply_stages,
+)
+from repro.core.insitu import non_overlapped_segment
+from repro.core.objective import objective_function
+from repro.core.stages import MemberStages
+from repro.dtl.base import DataTransportLayer
+from repro.faults.models import FailureModel, NoFailureModel
+from repro.faults.recovery import RecoveryPolicy, RetryBackoffPolicy
+from repro.platform.cluster import Cluster
+from repro.runtime.analytic import predict_member_stages
+from repro.runtime.placement import EnsemblePlacement
+from repro.runtime.runner import run_ensemble
+from repro.runtime.spec import EnsembleSpec
+from repro.scheduler.objectives import score_placement
+from repro.search.cache import StageCache
+from repro.util.errors import ValidationError
+
+#: Per-metric relative tolerances of the banded tiers. ``0.0`` means
+#: the comparison is exact (bit-identical floats). The values are the
+#: single source the test suite's ``tests/tolerances.py`` re-exports.
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    # tier 0: memoized/cached paths vs their reference implementations
+    "cache": 0.0,
+    # tier 1: analytic steady state vs noise-free DES estimates
+    "stage": 1e-6,
+    "makespan": 1e-6,
+    "indicator": 1e-5,
+    "objective": 1e-5,
+    # tier 2: first-order fault surrogate vs DES trial mean
+    "surrogate": 0.15,
+}
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One structured comparison between two evaluation paths.
+
+    ``tolerance`` is relative; ``0.0`` demands exact float equality.
+    ``scope`` names the member (or ``"ensemble"``), ``metric`` the
+    quantity, and ``paths`` the two implementations compared.
+    """
+
+    scope: str
+    metric: str
+    paths: str
+    reference: float
+    candidate: float
+    tolerance: float
+
+    @property
+    def error(self) -> float:
+        """Relative error (absolute when the reference is ~zero)."""
+        if self.reference == self.candidate:
+            return 0.0
+        denom = max(abs(self.reference), abs(self.candidate))
+        if denom == 0.0:
+            return 0.0
+        return abs(self.reference - self.candidate) / denom
+
+    @property
+    def ok(self) -> bool:
+        if self.tolerance == 0.0:
+            return self.reference == self.candidate
+        if math.isnan(self.reference) or math.isnan(self.candidate):
+            return False
+        return self.error <= self.tolerance
+
+    def to_dict(self) -> dict:
+        return {
+            "scope": self.scope,
+            "metric": self.metric,
+            "paths": self.paths,
+            "reference": self.reference,
+            "candidate": self.candidate,
+            "tolerance": self.tolerance,
+            "error": self.error,
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """Machine-readable outcome of one differential-oracle run."""
+
+    scenario: str
+    checks: Tuple[MetricCheck, ...] = field(default_factory=tuple)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    @property
+    def failures(self) -> Tuple[MetricCheck, ...]:
+        return tuple(c for c in self.checks if not c.ok)
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "passed": self.passed,
+            "num_checks": len(self.checks),
+            "num_failures": len(self.failures),
+            "failures": [c.to_dict() for c in self.failures],
+            "checks": [c.to_dict() for c in self.checks],
+        }
+
+    def to_text(self, verbose: bool = False) -> str:
+        status = "ok" if self.passed else "DIVERGED"
+        lines = [
+            f"{self.scenario}: {status} "
+            f"({len(self.checks)} checks, {len(self.failures)} failures)"
+        ]
+        shown = self.checks if verbose else self.failures
+        for c in shown:
+            mark = "ok " if c.ok else "FAIL"
+            lines.append(
+                f"  {mark} [{c.paths}] {c.scope}/{c.metric}: "
+                f"ref={c.reference!r} got={c.candidate!r} "
+                f"err={c.error:.3e} tol={c.tolerance:g}"
+            )
+        return "\n".join(lines)
+
+
+#: Signature of the analytic stage predictor (the Tier-0/1 reference).
+Predictor = Callable[..., Dict[str, MemberStages]]
+
+
+def _member_drain_makespan(stages: MemberStages, n_steps: int) -> float:
+    """Failure-free makespan with the pipeline tail: ``n*sigma + drain``."""
+    sigma = non_overlapped_segment(stages)
+    drain = (
+        stages.simulation.active
+        + max(a.active for a in stages.analyses)
+        - sigma
+    )
+    return n_steps * sigma + drain
+
+
+def _stage_floats(stages: MemberStages) -> List[Tuple[str, float]]:
+    out = [
+        ("sim.compute", stages.simulation.compute),
+        ("sim.write", stages.simulation.write),
+    ]
+    for j, a in enumerate(stages.analyses):
+        out.append((f"ana{j + 1}.read", a.read))
+        out.append((f"ana{j + 1}.analyze", a.analyze))
+    return out
+
+
+def run_differential_oracle(
+    spec: EnsembleSpec,
+    placement: EnsemblePlacement,
+    cluster: Optional[Cluster] = None,
+    dtl: Optional[DataTransportLayer] = None,
+    seed: int = 0,
+    tolerances: Optional[Mapping[str, float]] = None,
+    predictor: Optional[Predictor] = None,
+    score_fn: Optional[Callable] = None,
+    failure_model: Optional[FailureModel] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    fault_trials: int = 3,
+    scenario: str = "adhoc",
+) -> DivergenceReport:
+    """Run one scenario through every evaluation path; report agreement.
+
+    Parameters
+    ----------
+    spec / placement:
+        The scenario under test.
+    cluster / dtl:
+        Platform context shared by all paths (Cori-like defaults).
+    seed:
+        DES seed (noise-free runs are seed-insensitive; kept for the
+        fault tier's trial stream).
+    tolerances:
+        Per-metric overrides merged over :data:`DEFAULT_TOLERANCES`.
+    predictor:
+        Analytic stage predictor; defaults to
+        :func:`~repro.runtime.analytic.predict_member_stages`. The
+        hook exists so tests can inject a mutated copy and prove the
+        oracle catches it.
+    score_fn:
+        Placement scorer compared against the reference scoring path;
+        defaults to :func:`~repro.scheduler.objectives.score_placement`
+        (uncached). Same mutation hook as ``predictor``.
+    failure_model / recovery / fault_trials:
+        When a failure model is given, Tier 2 additionally compares
+        the analytic surrogate's expected makespan against the mean of
+        ``fault_trials`` DES trials.
+    scenario:
+        Label carried into the report.
+
+    Returns
+    -------
+    DivergenceReport
+        Structured agreement report; ``passed`` is the verdict.
+    """
+    if fault_trials < 1:
+        raise ValidationError(
+            f"fault_trials must be >= 1, got {fault_trials!r}"
+        )
+    tol = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        tol.update(tolerances)
+    predict = predictor or predict_member_stages
+    score = score_fn or score_placement
+    checks: List[MetricCheck] = []
+
+    # -- reference path: the analytic steady state -------------------------
+    analytic = predict(spec, placement, cluster=cluster, dtl=dtl)
+
+    # -- tier 0: StageCache vs the uncached predictor ----------------------
+    cache = StageCache(cluster, dtl)
+    cached = cache.predict(spec, placement)
+    for member in spec.members:
+        for name, ref in _stage_floats(analytic[member.name]):
+            cand = dict(_stage_floats(cached[member.name]))[name]
+            checks.append(
+                MetricCheck(
+                    scope=member.name,
+                    metric=f"stage:{name}",
+                    paths="analytic-vs-cache",
+                    reference=ref,
+                    candidate=cand,
+                    tolerance=tol["cache"],
+                )
+            )
+
+    # -- tier 0: cached vs uncached scoring, and the score_fn under test ---
+    reference_score = score_placement(spec, placement, cluster=cluster, dtl=dtl)
+    cached_score = score_placement(
+        spec, placement, cluster=cluster, dtl=dtl, cache=cache
+    )
+    candidate_score = score(spec, placement, cluster=cluster, dtl=dtl)
+    for label, cand in (
+        ("score-vs-cache", cached_score),
+        ("score-vs-candidate", candidate_score),
+    ):
+        checks.append(
+            MetricCheck(
+                scope="ensemble",
+                metric="objective",
+                paths=label,
+                reference=reference_score.objective,
+                candidate=cand.objective,
+                tolerance=tol["cache"],
+            )
+        )
+        checks.append(
+            MetricCheck(
+                scope="ensemble",
+                metric="makespan",
+                paths=label,
+                reference=reference_score.ensemble_makespan,
+                candidate=cand.ensemble_makespan,
+                tolerance=tol["cache"],
+            )
+        )
+        for member, ref_i, cand_i in zip(
+            spec.members,
+            reference_score.member_indicators,
+            cand.member_indicators,
+        ):
+            checks.append(
+                MetricCheck(
+                    scope=member.name,
+                    metric="indicator",
+                    paths=label,
+                    reference=ref_i,
+                    candidate=cand_i,
+                    tolerance=tol["cache"],
+                )
+            )
+
+    # -- tier 1: noise-free DES vs the analytic steady state ---------------
+    result = run_ensemble(
+        spec, placement, cluster=cluster, dtl=dtl, seed=seed, timing_noise=0.0
+    )
+    des_indicators = result.indicator_values(FINAL_STAGE_ORDER)
+    analytic_indicators: Dict[str, float] = {}
+    for member, member_result in zip(spec.members, result.members):
+        pred = analytic[member.name]
+        meas = member_result.stages
+        pred_floats = dict(_stage_floats(pred))
+        for name, value in _stage_floats(meas):
+            checks.append(
+                MetricCheck(
+                    scope=member.name,
+                    metric=f"stage:{name}",
+                    paths="analytic-vs-des",
+                    reference=pred_floats[name],
+                    candidate=value,
+                    tolerance=tol["stage"],
+                )
+            )
+        checks.append(
+            MetricCheck(
+                scope=member.name,
+                metric="makespan",
+                paths="analytic-vs-des",
+                reference=_member_drain_makespan(pred, member.n_steps),
+                candidate=member_result.makespan,
+                tolerance=tol["makespan"],
+            )
+        )
+        measurement = MemberMeasurement(
+            name=member.name,
+            stages=pred,
+            total_cores=member.total_cores,
+            placement=next(
+                mp.to_placement_sets()
+                for m, mp in zip(spec.members, placement.members)
+                if m.name == member.name
+            ),
+        )
+        analytic_indicators[member.name] = apply_stages(
+            measurement, FINAL_STAGE_ORDER, placement.num_nodes
+        )
+        checks.append(
+            MetricCheck(
+                scope=member.name,
+                metric="indicator",
+                paths="analytic-vs-des",
+                reference=analytic_indicators[member.name],
+                candidate=des_indicators[member.name],
+                tolerance=tol["indicator"],
+            )
+        )
+    checks.append(
+        MetricCheck(
+            scope="ensemble",
+            metric="objective",
+            paths="analytic-vs-des",
+            reference=objective_function(list(analytic_indicators.values())),
+            candidate=result.objective(FINAL_STAGE_ORDER),
+            tolerance=tol["objective"],
+        )
+    )
+
+    # -- tier 0/2: the fault surrogate ------------------------------------
+    from repro.faults.analytic import surrogate_resilience
+
+    baseline = surrogate_resilience(
+        spec,
+        placement,
+        NoFailureModel(),
+        RetryBackoffPolicy(),
+        cluster=cluster,
+        dtl=dtl,
+    )
+    analytic_t0 = max(
+        _member_drain_makespan(analytic[m.name], m.n_steps)
+        for m in spec.members
+    )
+    checks.append(
+        MetricCheck(
+            scope="ensemble",
+            metric="baseline_makespan",
+            paths="analytic-vs-surrogate",
+            reference=analytic_t0,
+            candidate=baseline.baseline_makespan,
+            tolerance=tol["cache"],
+        )
+    )
+
+    if failure_model is not None:
+        policy = recovery or RetryBackoffPolicy()
+        report = surrogate_resilience(
+            spec,
+            placement,
+            failure_model,
+            policy,
+            cluster=cluster,
+            dtl=dtl,
+        )
+        total = 0.0
+        for trial in range(fault_trials):
+            trial_result = run_ensemble(
+                spec,
+                placement,
+                cluster=cluster,
+                dtl=dtl,
+                seed=seed + trial,
+                failure_model=failure_model,
+                recovery=policy,
+            )
+            total += trial_result.ensemble_makespan
+        checks.append(
+            MetricCheck(
+                scope="ensemble",
+                metric="expected_makespan",
+                paths="surrogate-vs-des",
+                reference=total / fault_trials,
+                candidate=report.expected_makespan,
+                tolerance=tol["surrogate"],
+            )
+        )
+
+    return DivergenceReport(scenario=scenario, checks=tuple(checks))
+
+
+def verify_scenarios(
+    names: Optional[Sequence[str]] = None,
+    n_steps: int = 6,
+    include_faults: bool = False,
+    tolerances: Optional[Mapping[str, float]] = None,
+) -> List[DivergenceReport]:
+    """Run the oracle over the canonical Table 2 scenarios.
+
+    ``names`` defaults to every Table 2 configuration; unknown names
+    raise :class:`~repro.util.errors.ValidationError`. With
+    ``include_faults`` each scenario additionally runs the Tier-2
+    surrogate-vs-DES comparison under a seeded random crash/straggler
+    model.
+    """
+    from repro.configs.base import build_spec
+    from repro.configs.table2 import TABLE2_CONFIGS
+    from repro.faults.models import RandomFailureModel
+
+    selected = list(names) if names else list(TABLE2_CONFIGS)
+    unknown = [n for n in selected if n not in TABLE2_CONFIGS]
+    if unknown:
+        raise ValidationError(
+            f"unknown Table 2 configurations: {unknown}; "
+            f"valid: {sorted(TABLE2_CONFIGS)}"
+        )
+    reports: List[DivergenceReport] = []
+    for name in selected:
+        config = TABLE2_CONFIGS[name]
+        spec = build_spec(config, n_steps=n_steps)
+        model = (
+            RandomFailureModel(rate=0.08, seed=11)
+            if include_faults
+            else None
+        )
+        reports.append(
+            run_differential_oracle(
+                spec,
+                config.placement(),
+                tolerances=tolerances,
+                failure_model=model,
+                scenario=name,
+            )
+        )
+    return reports

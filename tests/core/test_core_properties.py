@@ -13,34 +13,12 @@ from repro.core.indicators import (
 )
 from repro.core.insitu import member_makespan, non_overlapped_segment
 from repro.core.stages import AnalysisStages, MemberStages, SimulationStages
+from tests.strategies import durations, member_stages as members
+from tests.strategies import placement_sets as placements
 
 U = IndicatorStage.USAGE
 A = IndicatorStage.ALLOCATION
 P = IndicatorStage.PROVISIONING
-
-durations = st.floats(min_value=0.01, max_value=1000.0, allow_nan=False)
-
-node_sets = st.sets(
-    st.integers(min_value=0, max_value=7), min_size=1, max_size=4
-).map(frozenset)
-
-
-@st.composite
-def members(draw):
-    sim = SimulationStages(draw(durations), draw(durations))
-    k = draw(st.integers(min_value=1, max_value=4))
-    analyses = tuple(
-        AnalysisStages(draw(durations), draw(durations)) for _ in range(k)
-    )
-    return MemberStages(sim, analyses)
-
-
-@st.composite
-def placements(draw, k=None):
-    sim_nodes = draw(node_sets)
-    count = k if k is not None else draw(st.integers(min_value=1, max_value=4))
-    analyses = tuple(draw(node_sets) for _ in range(count))
-    return PlacementSets(sim_nodes, analyses)
 
 
 class TestSigmaProperties:

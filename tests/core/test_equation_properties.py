@@ -1,0 +1,119 @@
+"""Property tests pinning the paper's equations via tests.strategies.
+
+Complements ``test_core_properties.py``: these are the algebraic
+identities the verification subsystem leans on — Eq. 9's permutation
+invariance and mean-domination, Eq. 6's bounds, and Eq. 4's regime
+classification — generated from the shared strategy library.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.heuristic import sweep_analysis_cores
+from repro.core.indicators import placement_indicator
+from repro.core.insitu import (
+    CouplingRegime,
+    analysis_idle_time,
+    classify_coupling,
+    non_overlapped_segment,
+    simulation_idle_time,
+)
+from repro.core.objective import objective_function
+from repro.util.stats import population_std
+from tests.strategies import durations, member_stages, placement_sets
+
+indicator_lists = st.lists(
+    st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestObjectiveProperties:
+    @given(indicator_lists, st.randoms(use_true_random=False))
+    @settings(max_examples=150)
+    def test_permutation_invariance(self, values, rng):
+        """Eq. 9 sees the ensemble as a set: order cannot matter."""
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        assert objective_function(shuffled) == pytest.approx(
+            objective_function(values), rel=1e-12, abs=1e-12
+        )
+
+    @given(indicator_lists)
+    @settings(max_examples=150)
+    def test_never_exceeds_mean(self, values):
+        """F = mean - std <= mean, with equality iff uniform."""
+        mean = sum(values) / len(values)
+        f = objective_function(values)
+        assert f <= mean + 1e-12
+        if len(set(values)) == 1:
+            assert f == pytest.approx(mean)
+
+    @given(
+        st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=100)
+    def test_uniform_ensemble_scores_its_value(self, value, n):
+        assert objective_function([value] * n) == pytest.approx(value)
+
+    @given(indicator_lists)
+    @settings(max_examples=150)
+    def test_matches_explicit_formula(self, values):
+        expected = sum(values) / len(values) - population_std(values)
+        assert objective_function(values) == pytest.approx(expected)
+
+
+class TestPlacementIndicatorProperties:
+    @given(placement_sets())
+    @settings(max_examples=150)
+    def test_cp_stays_in_unit_interval(self, p):
+        cp = placement_indicator(p)
+        assert 0.0 < cp <= 1.0 + 1e-12
+
+
+class TestRegimeProperties:
+    @given(member_stages())
+    @settings(max_examples=150)
+    def test_classification_matches_idle_times(self, m):
+        """Eq. 4 / Figure 6: the idling side is the one with slack."""
+        for j in range(m.num_couplings):
+            regime = classify_coupling(m, j)
+            sim_idle = simulation_idle_time(m)
+            ana_idle = analysis_idle_time(m, j)
+            if regime is CouplingRegime.IDLE_SIMULATION:
+                # this coupling outlasts the simulation side
+                assert m.analyses[j].active > m.simulation.active
+                assert ana_idle < sim_idle + 1e-12
+            elif regime is CouplingRegime.IDLE_ANALYZER:
+                assert m.analyses[j].active < m.simulation.active
+                assert ana_idle >= 0.0
+
+    @given(member_stages())
+    @settings(max_examples=150)
+    def test_idle_times_are_nonnegative_and_bounded(self, m):
+        sigma = non_overlapped_segment(m)
+        assert 0.0 <= simulation_idle_time(m) <= sigma
+        for j in range(m.num_couplings):
+            assert 0.0 <= analysis_idle_time(m, j) <= sigma
+
+    @given(member_stages())
+    @settings(max_examples=150)
+    def test_some_side_never_idles(self, m):
+        """sigma* is achieved: at least one component has zero idle."""
+        idles = [simulation_idle_time(m)] + [
+            analysis_idle_time(m, j) for j in range(m.num_couplings)
+        ]
+        assert min(idles) == pytest.approx(0.0, abs=1e-12)
+
+    @given(member_stages(), durations)
+    @settings(max_examples=100)
+    def test_eq4_feasibility_equals_idle_analyzer_everywhere(self, m, _):
+        """sweep_analysis_cores' Eq. 4 flag agrees with classify_coupling."""
+        point = sweep_analysis_cores(lambda cores: m, [1])[0]
+        all_idle_analyzer = all(
+            classify_coupling(m, j) is not CouplingRegime.IDLE_SIMULATION
+            for j in range(m.num_couplings)
+        )
+        assert point.feasible == all_idle_analyzer

@@ -45,6 +45,11 @@ from repro.runtime.placement import (
 )
 from repro.runtime.spec import EnsembleSpec, default_member
 from repro.util.errors import ValidationError
+from tests.tolerances import (
+    MAKESPAN_REL,
+    SURROGATE_CELL_REL,
+    SURROGATE_GRID_MEAN_REL,
+)
 
 
 @pytest.fixture(scope="module")
@@ -184,7 +189,7 @@ class TestSurrogateBaseline:
         # the baseline is the DES failure-free makespan
         des = EnsembleExecutor(spec, placement).run()
         assert report.baseline_makespan == pytest.approx(
-            des.ensemble_makespan, rel=1e-6
+            des.ensemble_makespan, rel=MAKESPAN_REL
         )
 
     def test_positive_rate_inflates(self, spec, placement):
@@ -258,8 +263,8 @@ class TestSurrogateVsDES:
             VALIDATION_RATES
         )
         # documented bound: every cell within 8%, grid mean within 5%
-        assert max(errors) <= 0.08
-        assert sum(errors) / len(errors) <= 0.05
+        assert max(errors) <= SURROGATE_CELL_REL
+        assert sum(errors) / len(errors) <= SURROGATE_GRID_MEAN_REL
 
     def test_restart_policy_within_bound(self):
         from repro.experiments.resilience import run_surrogate_validation
@@ -270,7 +275,7 @@ class TestSurrogateVsDES:
             policy="restart",
             trials=3,
         )
-        assert result.rows[0]["rel_error"] <= 0.08
+        assert result.rows[0]["rel_error"] <= SURROGATE_CELL_REL
 
     def test_node_level_surrogate_tracks_des(self):
         spec = _small_spec(n_steps=10)
@@ -294,7 +299,7 @@ class TestSurrogateVsDES:
             )
         des_mean = sum(inflations) / len(inflations)
         rel_error = abs(report.expected_inflation - des_mean) / des_mean
-        assert rel_error <= 0.08
+        assert rel_error <= SURROGATE_CELL_REL
 
 
 class TestNodeCoFailure:

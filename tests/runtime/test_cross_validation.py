@@ -14,6 +14,7 @@ from repro.configs.base import build_spec
 from repro.core.insitu import member_makespan, non_overlapped_segment
 from repro.runtime.analytic import predict_member_stages
 from repro.runtime.runner import run_ensemble
+from tests.tolerances import NOISY_REL, STAGE_REL
 
 
 @pytest.mark.parametrize("config", table2(), ids=lambda c: c.name)
@@ -27,14 +28,14 @@ def test_table2_configs_match(config):
         pred = predicted[member.name]
         meas = member.stages
         assert meas.simulation.compute == pytest.approx(
-            pred.simulation.compute, rel=1e-6
+            pred.simulation.compute, rel=STAGE_REL
         )
         assert meas.simulation.write == pytest.approx(
-            pred.simulation.write, rel=1e-6
+            pred.simulation.write, rel=STAGE_REL
         )
         for mi, pi in zip(meas.analyses, pred.analyses):
-            assert mi.read == pytest.approx(pi.read, rel=1e-6)
-            assert mi.analyze == pytest.approx(pi.analyze, rel=1e-6)
+            assert mi.read == pytest.approx(pi.read, rel=STAGE_REL)
+            assert mi.analyze == pytest.approx(pi.analyze, rel=STAGE_REL)
         # Eq. 2 holds for the measured makespan up to pipeline fill
         sigma = non_overlapped_segment(pred)
         expected = member_makespan(pred, 6)
@@ -50,10 +51,10 @@ def test_table4_configs_match(config):
     for member in result.members:
         pred = predicted[member.name]
         assert member.stages.simulation.compute == pytest.approx(
-            pred.simulation.compute, rel=1e-6
+            pred.simulation.compute, rel=STAGE_REL
         )
         for mi, pi in zip(member.stages.analyses, pred.analyses):
-            assert mi.analyze == pytest.approx(pi.analyze, rel=1e-6)
+            assert mi.analyze == pytest.approx(pi.analyze, rel=STAGE_REL)
 
 
 def test_noisy_executor_converges_to_prediction(two_member_spec):
@@ -69,5 +70,5 @@ def test_noisy_executor_converges_to_prediction(two_member_spec):
     for member in result.members:
         pred = predicted[member.name]
         assert member.stages.simulation.compute == pytest.approx(
-            pred.simulation.compute, rel=0.05
+            pred.simulation.compute, rel=NOISY_REL
         )

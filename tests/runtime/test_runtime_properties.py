@@ -7,51 +7,15 @@ measured makespan is ``n_steps * sigma*`` plus a sub-``sigma*`` drain.
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given
 
-from repro.components.analysis import EigenAnalysisModel
-from repro.components.simulation import MDSimulationModel
 from repro.core.insitu import non_overlapped_segment
 from repro.runtime.analytic import predict_member_stages
 from repro.runtime.placement import EnsemblePlacement, MemberPlacement
 from repro.runtime.runner import run_ensemble
-from repro.runtime.spec import EnsembleSpec, MemberSpec
-
-
-@st.composite
-def member_specs(draw):
-    sim = MDSimulationModel(
-        "p.sim",
-        cores=draw(st.sampled_from([8, 16])),
-        natoms=draw(st.integers(min_value=50_000, max_value=500_000)),
-        stride=draw(st.integers(min_value=100, max_value=1600)),
-        seconds_per_atom_step=draw(
-            st.floats(min_value=1e-7, max_value=2e-6)
-        ),
-        serial_fraction=draw(st.floats(min_value=0.0, max_value=0.3)),
-    )
-    ana = EigenAnalysisModel(
-        "p.ana",
-        cores=draw(st.sampled_from([4, 8, 16])),
-        single_core_time=draw(st.floats(min_value=5.0, max_value=200.0)),
-        serial_fraction=draw(st.floats(min_value=0.0, max_value=0.3)),
-    )
-    n_steps = draw(st.integers(min_value=2, max_value=6))
-    return EnsembleSpec("prop", (MemberSpec("p", sim, (ana,), n_steps=n_steps),))
-
-
-@st.composite
-def placements(draw):
-    sim_node = draw(st.integers(min_value=0, max_value=1))
-    ana_node = draw(st.integers(min_value=0, max_value=1))
-    return EnsemblePlacement(2, (MemberPlacement(sim_node, (ana_node,)),))
-
-
-common = settings(
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+from tests.strategies import common_settings as common
+from tests.strategies import des_ensembles as member_specs
+from tests.strategies import des_placements as placements
 
 
 class TestExecutorMatchesModel:

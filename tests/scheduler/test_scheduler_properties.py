@@ -1,11 +1,8 @@
 """Property-based tests of scheduling policies over random ensembles."""
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from repro.components.analysis import EigenAnalysisModel
-from repro.components.simulation import MDSimulationModel
-from repro.runtime.spec import EnsembleSpec, MemberSpec
 from repro.scheduler.objectives import score_placement
 from repro.scheduler.policies import (
     GreedyIndicatorPolicy,
@@ -13,37 +10,11 @@ from repro.scheduler.policies import (
     RoundRobinPolicy,
 )
 from repro.util.errors import PlacementError
-
-
-@st.composite
-def ensembles(draw):
-    """Random small ensembles with varied core demands."""
-    n_members = draw(st.integers(min_value=1, max_value=3))
-    members = []
-    for i in range(n_members):
-        sim_cores = draw(st.sampled_from([8, 16]))
-        k = draw(st.integers(min_value=1, max_value=2))
-        ana_cores = draw(st.sampled_from([4, 8]))
-        sim = MDSimulationModel(f"em{i}.sim", cores=sim_cores)
-        analyses = tuple(
-            EigenAnalysisModel(f"em{i}.ana{j}", cores=ana_cores)
-            for j in range(k)
-        )
-        members.append(
-            MemberSpec(f"em{i}", sim, analyses, n_steps=2)
-        )
-    return EnsembleSpec("prop", tuple(members))
+from tests.strategies import common_settings, ensembles
 
 
 def total_cores(spec):
     return sum(m.total_cores for m in spec.members)
-
-
-common_settings = settings(
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
 
 
 class TestPolicyProperties:

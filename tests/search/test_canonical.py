@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.configs.generator import (
     count_feasible_placements,
@@ -29,30 +28,14 @@ from repro.search.reference import (
     count_feasible_placements_reference,
     enumerate_placements_reference,
 )
-
-
-def _spec(num_members: int, num_analyses: int) -> EnsembleSpec:
-    return EnsembleSpec(
-        f"grid-{num_members}-{num_analyses}",
-        tuple(
-            default_member(f"em{i}", num_analyses=num_analyses, n_steps=4)
-            for i in range(num_members)
-        ),
-    )
+from tests.strategies import search_grids
 
 
 class TestCanonicalMatchesReference:
     @settings(max_examples=30, deadline=None)
-    @given(
-        num_members=st.integers(min_value=1, max_value=3),
-        num_analyses=st.integers(min_value=1, max_value=2),
-        num_nodes=st.integers(min_value=1, max_value=4),
-        cores_per_node=st.sampled_from([24, 32, 48]),
-    )
-    def test_same_stream_same_order(
-        self, num_members, num_analyses, num_nodes, cores_per_node
-    ):
-        spec = _spec(num_members, num_analyses)
+    @given(grid=search_grids())
+    def test_same_stream_same_order(self, grid):
+        spec, num_nodes, cores_per_node = grid
         fast = list(
             enumerate_canonical_placements(spec, num_nodes, cores_per_node)
         )
@@ -62,16 +45,9 @@ class TestCanonicalMatchesReference:
         assert fast == seed
 
     @settings(max_examples=30, deadline=None)
-    @given(
-        num_members=st.integers(min_value=1, max_value=3),
-        num_analyses=st.integers(min_value=1, max_value=2),
-        num_nodes=st.integers(min_value=1, max_value=4),
-        cores_per_node=st.sampled_from([24, 32, 48]),
-    )
-    def test_counts_match_reference(
-        self, num_members, num_analyses, num_nodes, cores_per_node
-    ):
-        spec = _spec(num_members, num_analyses)
+    @given(grid=search_grids())
+    def test_counts_match_reference(self, grid):
+        spec, num_nodes, cores_per_node = grid
         cores = component_core_demands(spec)
         assert count_canonical_assignments(
             cores, num_nodes, cores_per_node

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.scheduler",
     "repro.search",
     "repro.util",
+    "repro.verify",
 ]
 
 

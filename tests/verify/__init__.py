@@ -1,0 +1,1 @@
+"""Tests for the correctness-verification subsystem (repro.verify)."""

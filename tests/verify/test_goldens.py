@@ -1,0 +1,118 @@
+"""The golden-trace store: regeneration determinism and drift alarms.
+
+``test_store_is_up_to_date`` is the regression tripwire: any behaviour
+change in the executor, the noise streams, or the fault scheduler shows
+up as a structural diff against ``tests/golden/``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.verify.goldens import (
+    GOLDEN_FORMAT_VERSION,
+    GOLDEN_SCENARIOS,
+    GoldenScenario,
+    build_golden,
+    canonical_json,
+    check_goldens,
+    diff_goldens,
+    golden_path,
+    load_golden,
+    write_goldens,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+class TestStore:
+    def test_store_is_up_to_date(self):
+        mismatches = check_goldens(GOLDEN_DIR)
+        assert mismatches == {}, "\n".join(
+            f"{name}:\n  " + "\n  ".join(diff)
+            for name, diff in mismatches.items()
+        )
+
+    def test_store_covers_every_scenario(self):
+        for scenario in GOLDEN_SCENARIOS:
+            assert golden_path(GOLDEN_DIR, scenario.name).exists()
+
+    def test_regeneration_is_deterministic(self):
+        scenario = GOLDEN_SCENARIOS[0]
+        assert canonical_json(build_golden(scenario)) == canonical_json(
+            build_golden(scenario)
+        )
+
+    def test_write_then_check_round_trips(self, tmp_path):
+        written = write_goldens(tmp_path)
+        assert sorted(written) == sorted(s.name for s in GOLDEN_SCENARIOS)
+        assert check_goldens(tmp_path) == {}
+
+    def test_faulted_scenario_pins_its_schedule(self):
+        payload = load_golden(golden_path(GOLDEN_DIR, "c15-faulted"))
+        assert payload["fault_events"], "faulted golden must pin faults"
+        for event in payload["fault_events"]:
+            assert event["stage"] in ("S", "W", "R", "A")
+
+
+class TestPayloadFormat:
+    def test_canonical_json_is_byte_stable(self):
+        payload = {"b": 2, "a": [1.5, {"z": 0, "y": 1}]}
+        assert canonical_json(payload) == canonical_json(
+            json.loads(json.dumps(payload))
+        )
+        assert canonical_json(payload).endswith("\n")
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_golden(tmp_path / "nope.json")
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValidationError):
+            load_golden(bad)
+
+    def test_load_rejects_wrong_format_version(self, tmp_path):
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({"format": GOLDEN_FORMAT_VERSION + 1}))
+        with pytest.raises(ValidationError):
+            load_golden(stale)
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValidationError):
+            GoldenScenario(name="", config="Cf")
+        with pytest.raises(ValidationError):
+            GoldenScenario(name="x", config="Cf", n_steps=0)
+        with pytest.raises(ValidationError):
+            build_golden(GoldenScenario(name="x", config="C9.9"))
+
+
+class TestDiff:
+    def test_identical_payloads_have_no_diff(self):
+        payload = build_golden(GOLDEN_SCENARIOS[0])
+        assert diff_goldens(payload, payload) == []
+
+    def test_value_drift_is_located(self):
+        expected = {"format": 1, "ensemble_makespan": 10.0}
+        actual = {"format": 1, "ensemble_makespan": 11.0}
+        diff = diff_goldens(expected, actual)
+        assert diff == ["$.ensemble_makespan: 10.0 -> 11.0"]
+
+    def test_added_and_removed_keys_reported(self):
+        diff = diff_goldens({"a": 1}, {"b": 1})
+        assert "$.a: removed" in diff
+        assert "$.b: added" in diff
+
+    def test_diff_truncates_at_limit(self):
+        expected = {str(i): i for i in range(50)}
+        actual = {str(i): i + 1 for i in range(50)}
+        diff = diff_goldens(expected, actual, limit=5)
+        assert len(diff) == 6
+        assert diff[-1] == "... (diff truncated)"
+
+    def test_check_reports_missing_file(self, tmp_path):
+        mismatches = check_goldens(tmp_path)
+        assert set(mismatches) == {s.name for s in GOLDEN_SCENARIOS}

@@ -1,0 +1,164 @@
+"""Runtime invariant checking: clean runs pass, violations are loud,
+and instrumentation never perturbs the simulation."""
+
+import json
+
+import pytest
+
+from repro.configs.base import build_spec
+from repro.configs.table2 import TABLE2_CONFIGS
+from repro.faults.models import FaultKind, RandomFailureModel
+from repro.faults.recovery import RetryBackoffPolicy
+from repro.monitoring.traceio import tracer_to_dict
+from repro.runtime.executor import EnsembleExecutor
+from repro.runtime.runner import run_ensemble
+from repro.verify.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+)
+
+
+def _c15(n_steps=6):
+    config = TABLE2_CONFIGS["C1.5"]
+    return build_spec(config, n_steps=n_steps), config.placement()
+
+
+class TestCleanRunsPass:
+    @pytest.mark.parametrize("name", ["Cf", "Cc", "C1.5"])
+    def test_exact_runs_have_zero_violations(self, name):
+        config = TABLE2_CONFIGS[name]
+        spec = build_spec(config, n_steps=6)
+        executor = EnsembleExecutor(spec, config.placement(), verify=True)
+        executor.run()
+        report = executor.invariant_report
+        assert report is not None
+        assert report.passed, report.to_text()
+        assert report.stages_observed > 0
+        assert report.checks_performed > report.stages_observed
+
+    def test_noisy_run_passes_structural_checks(self):
+        spec, placement = _c15()
+        executor = EnsembleExecutor(
+            spec, placement, seed=7, timing_noise=0.02, verify=True
+        )
+        executor.run()
+        assert executor.invariant_report.passed
+
+    def test_faulted_run_passes_structural_checks(self):
+        spec, placement = _c15()
+        executor = EnsembleExecutor(
+            spec,
+            placement,
+            failure_model=RandomFailureModel(
+                rate=0.2, kinds=(FaultKind.CRASH, FaultKind.STRAGGLER), seed=3
+            ),
+            recovery=RetryBackoffPolicy(),
+            verify=True,
+        )
+        executor.run()
+        assert executor.invariant_report.passed
+
+    def test_report_disabled_by_default(self):
+        spec, placement = _c15(n_steps=2)
+        executor = EnsembleExecutor(spec, placement)
+        executor.run()
+        assert executor.invariant_report is None
+
+
+class TestInstrumentationIsInert:
+    def test_traces_byte_identical_with_and_without_verify(self):
+        spec, placement = _c15()
+        plain = run_ensemble(spec, placement, seed=5, timing_noise=0.03)
+        checked = run_ensemble(
+            spec, placement, seed=5, timing_noise=0.03, verify=True
+        )
+        assert json.dumps(
+            tracer_to_dict(plain.tracer), sort_keys=True
+        ) == json.dumps(tracer_to_dict(checked.tracer), sort_keys=True)
+        assert plain.ensemble_makespan == checked.ensemble_makespan
+
+
+class TestViolationsAreLoud:
+    def test_backwards_clock_detected(self):
+        checker = InvariantChecker()
+        checker.observe_stage("em1", "em1.sim", "S", 0, 10.0, 9.0, 1.0)
+        report = checker.report()
+        assert not report.passed
+        assert "clock ran backwards" in report.violations[0]
+
+    def test_overlapping_stages_detected(self):
+        checker = InvariantChecker()
+        checker.observe_stage("em1", "em1.sim", "S", 0, 0.0, 5.0, 5.0)
+        checker.observe_stage("em1", "em1.sim", "W", 0, 4.0, 6.0, 2.0)
+        assert not checker.report().passed
+
+    def test_skipped_step_detected(self):
+        checker = InvariantChecker()
+        checker.observe_stage("em1", "em1.sim", "S", 0, 0.0, 1.0, 1.0)
+        checker.observe_stage("em1", "em1.sim", "S", 2, 1.0, 2.0, 1.0)
+        report = checker.report()
+        assert any("expected 1" in v for v in report.violations)
+
+    def test_exact_mode_flags_duration_drift(self):
+        checker = InvariantChecker(exact=True)
+        checker.observe_stage("em1", "em1.sim", "S", 0, 0.0, 1.5, 1.0)
+        assert not checker.report().passed
+
+    def test_inexact_mode_tolerates_duration_drift(self):
+        checker = InvariantChecker(exact=False)
+        checker.observe_stage("em1", "em1.sim", "S", 0, 0.0, 1.5, 1.0)
+        assert checker.report().passed
+
+    def test_period_violation_detected(self):
+        checker = InvariantChecker(exact=True)
+        # sigma* = 2.0, but the third period stretches to 2.5
+        starts = [0.0, 2.0, 4.0, 6.5]
+        for i, s in enumerate(starts):
+            checker.observe_stage("em1", "em1.sim", "S", i, s, s + 1.0, 1.0)
+            checker.observe_stage(
+                "em1", "em1.sim", "W", i, s + 1.0, s + 2.0, 1.0
+            )
+        checker.check_periods()
+        report = checker.report()
+        assert any("Eq. 1" in v for v in report.violations)
+
+    def test_efficiency_bound_violation_detected(self):
+        class FakeMember:
+            name = "em1"
+            efficiency = 1.5  # > 1 breaks Eq. 3
+            makespan = 10.0
+
+            class stages:
+                num_couplings = 1
+
+        class FakeResult:
+            members = (FakeMember(),)
+            ensemble_makespan = 10.0
+
+        checker = InvariantChecker()
+        checker.check_result(FakeResult())
+        assert not checker.report().passed
+
+    def test_executor_raises_on_violation(self, monkeypatch):
+        """A poisoned checker makes the verified run fail loudly."""
+        spec, placement = _c15(n_steps=2)
+        executor = EnsembleExecutor(spec, placement, verify=True)
+
+        original = InvariantChecker.observe_stage
+
+        def poisoned(self, member, component, stage, step, start, end, duration):
+            original(
+                self, member, component, stage, step, start, end, duration + 1.0
+            )
+
+        monkeypatch.setattr(InvariantChecker, "observe_stage", poisoned)
+        with pytest.raises(InvariantViolation):
+            executor.run()
+
+    def test_report_to_dict(self):
+        checker = InvariantChecker()
+        checker.observe_stage("em1", "em1.sim", "S", 0, 0.0, 1.0, 1.0)
+        payload = checker.report().to_dict()
+        assert payload["passed"] is True
+        assert payload["stages_observed"] == 1
+        assert payload["violations"] == []
