@@ -1,0 +1,96 @@
+"""Benchmark: the placement service's throughput and cache floors.
+
+Two layers of enforcement:
+
+- the committed ``BENCH_service.json`` must exist, carry passing
+  correctness verdicts, and clear the recorded floors (throughput
+  >= 50 jobs/s sustained, cached resubmission >= 10x) — so a
+  regression cannot be hidden by simply not re-running the script;
+- a live pytest-benchmark measurement drives a fresh
+  :class:`~repro.service.workers.PlacementService` pool and asserts
+  the pooled payloads are bit-identical to a serial
+  :func:`~repro.service.workers.execute_request` pass.
+"""
+
+import json
+from pathlib import Path
+
+from repro.runtime.spec import EnsembleSpec, default_member
+from repro.service.cache import ResultCache
+from repro.service.schemas import PlacementRequest, canonical_digest
+from repro.service.workers import PlacementService, execute_request
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS = REPO_ROOT / "BENCH_service.json"
+
+NUM_JOBS = 24
+WORKERS = 4
+
+
+def _requests():
+    spec = EnsembleSpec(
+        "service-bench",
+        (
+            default_member("em1", num_analyses=2, n_steps=4),
+            default_member("em2", num_analyses=1, n_steps=4),
+        ),
+    )
+    return [
+        PlacementRequest(
+            kind="search", spec=spec, num_nodes=4, base_seed=seed
+        )
+        for seed in range(NUM_JOBS)
+    ]
+
+
+def test_committed_results_pass_their_floors():
+    assert RESULTS.exists(), (
+        "BENCH_service.json missing - run scripts/bench_service.py"
+    )
+    results = json.loads(RESULTS.read_text())
+    floors = results["floors"]
+    for payload in results["correctness"]:
+        assert payload["passed"], (
+            f"{payload['scenario']} recorded a correctness divergence"
+        )
+    throughput = results["throughput"]["throughput_jobs_per_s"]
+    assert throughput >= floors["throughput_jobs_per_s"]
+    speedup = results["throughput"]["cached_speedup"]
+    assert speedup >= floors["cached_speedup"]
+
+
+def test_bench_pool_throughput(benchmark):
+    requests = _requests()
+    serial = {
+        canonical_digest(r): execute_request(r) for r in requests
+    }
+
+    def drain_fresh_pool():
+        with PlacementService(workers=WORKERS) as service:
+            jobs = [service.submit(r) for r in requests]
+            return {
+                j.digest: service.wait(j.id, timeout=120.0).result
+                for j in jobs
+            }
+
+    pooled = benchmark(drain_fresh_pool)
+    assert pooled == serial  # exact float equality, every payload
+    print(f"\npooled {NUM_JOBS} jobs == serial pass, bit-identical")
+
+
+def test_bench_cached_resubmission(benchmark):
+    requests = _requests()
+    cache = ResultCache()
+    with PlacementService(workers=WORKERS, result_cache=cache) as service:
+        first = [
+            service.wait(service.submit(r).id, timeout=120.0)
+            for r in requests
+        ]
+
+        def resubmit_all():
+            return [service.submit(r) for r in requests]
+
+        resubmitted = benchmark(resubmit_all)
+    assert all(j.cached for j in resubmitted)
+    assert [j.result for j in resubmitted] == [j.result for j in first]
+    print(f"\n{NUM_JOBS} resubmissions served from the result cache")

@@ -106,9 +106,12 @@ def bench_exhaustive(num_nodes: int) -> tuple:
             seed_best = score
     t_seed = time.perf_counter() - t0
 
+    from repro.search.cache import StageCache
+
+    stage_cache = StageCache()
     t0 = time.perf_counter()
     fast_best, fast_evaluated = find_best_placement(
-        spec, num_nodes, CORES_PER_NODE
+        spec, num_nodes, CORES_PER_NODE, cache=stage_cache
     )
     t_fast = time.perf_counter() - t0
 
@@ -159,6 +162,7 @@ def bench_exhaustive(num_nodes: int) -> tuple:
         "fast_seconds": t_fast,
         "speedup": t_seed / t_fast,
         "objective": fast_best.objective,
+        "stage_cache": stage_cache.stats(),
     }
     return row, report
 
@@ -339,6 +343,13 @@ def main() -> int:
         f"exhaustive: {results['exhaustive']['candidates']} candidates, "
         f"seed {results['exhaustive']['seed_seconds']:.2f}s -> fast "
         f"{results['exhaustive']['fast_seconds']:.2f}s"
+    )
+    cache_stats = results["exhaustive"]["stage_cache"]
+    print(
+        f"  stage cache: {cache_stats['stage_hits']} hits / "
+        f"{cache_stats['stage_misses']} misses (member level), "
+        f"{cache_stats['node_hits']} / {cache_stats['node_misses']} "
+        f"(node level)"
     )
     print(
         f"annealing: {results['annealing']['evaluations']} evaluations, "

@@ -9,11 +9,19 @@ Commands
     Regenerate every figure/table of the paper and print the data.
 ``sweep``
     Run the §3.4 analysis-core sweep and print the heuristic's choice.
-``plan --members N --analyses K --nodes M [--robust-rate R]``
+``plan --members N --analyses K --nodes M [--robust-rate R] [--json]``
     Run the resource-constrained planner and print the resulting plan;
     with ``--robust-rate`` the plan is scored with the analytic
     robustness surrogate (node-level crash domains, weight
-    ``--robust-weight``).
+    ``--robust-weight``). ``--json`` emits the plan in the service
+    wire format (:mod:`repro.service.schemas`) instead of text, so
+    one-shot planning and the placement service share one format.
+``serve [--port P --workers W --cache-entries E --job-timeout T]``
+    Run the placement service: an HTTP/JSON API (``POST /jobs``,
+    ``GET /jobs[/<id>]``, ``DELETE /jobs/<id>``, ``GET /health``,
+    ``GET /stats``) over a priority job queue, a worker pool draining
+    it through the fast search engine, and a digest-keyed result
+    cache. See ``docs/SERVICE.md``.
 ``faults <config> [--rate R --policy P --kinds K --model M]``
     Execute one configuration under fault injection and print the fault
     log, the resilience metrics, and the ideal-vs-robust objective.
@@ -24,12 +32,14 @@ Commands
     Run the full resilience sweep (rates x recovery policies) instead.
 ``faults --validate``
     Run the surrogate-vs-DES validation table instead.
-``verify [configs...] [--faults] [--json]``
+``verify [configs...] [--faults] [--service] [--json]``
     Run the differential oracle harness over the canonical Table 2
     scenarios (analytic vs cached search vs surrogate vs DES) and
     print each scenario's divergence report; exits non-zero on any
     divergence. With ``--faults`` the fault surrogate is additionally
-    compared against injected DES trials.
+    compared against injected DES trials; with ``--service`` each
+    scenario is also scored through the HTTP placement service and
+    must agree exactly (tier 0) with the direct scorer.
 ``run --verify`` / ``faults --verify``
     Execute with the runtime invariant checker hooked into the DES
     stage choke point; violations abort the run and the audit summary
@@ -199,6 +209,31 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         )
     planner = ResourceConstrainedPlanner(robustness=robustness)
     plan = planner.plan(spec, num_nodes=args.nodes)
+    if args.json:
+        import json
+
+        from repro.service.schemas import (
+            SCHEMA_VERSION,
+            placement_to_dict,
+            score_to_dict,
+            spec_to_dict,
+        )
+
+        print(
+            json.dumps(
+                {
+                    "schema_version": SCHEMA_VERSION,
+                    "node_budget": args.nodes,
+                    "analysis_cores": plan.analysis_cores,
+                    "policy": plan.policy_name,
+                    "spec": spec_to_dict(plan.spec),
+                    "placement": placement_to_dict(plan.placement),
+                    "score": score_to_dict(plan.score),
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(
         f"plan: {args.members} members x (16-core sim + "
         f"{args.analyses} x {plan.analysis_cores}-core analyses) on "
@@ -220,6 +255,30 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             f"{plan.score.robust_penalty:.6f}, utility "
             f"{plan.score.utility:.6f}"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.api import make_server
+
+    server = make_server(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_entries=args.cache_entries,
+        job_timeout=args.job_timeout,
+    )
+    print(
+        f"placement service listening on {server.url} "
+        f"({args.workers} workers, cache {args.cache_entries} entries)"
+    )
+    print("routes: POST /jobs  GET /jobs[/<id>]  DELETE /jobs/<id>")
+    print("        GET /health  GET /stats")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down (draining workers)...")
+        server.stop()
     return 0
 
 
@@ -366,6 +425,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         names=args.configs or None,
         n_steps=args.steps,
         include_faults=args.faults,
+        include_service=args.service,
     )
     if args.json:
         print(
@@ -456,7 +516,35 @@ def build_parser() -> argparse.ArgumentParser:
         default="retry",
         help="recovery policy priced by the robustness term",
     )
+    p_plan.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the plan in the service wire format "
+        "(repro.service.schemas) instead of text",
+    )
     p_plan.set_defaults(func=_cmd_plan)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the placement service (HTTP/JSON API)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="worker pool size"
+    )
+    p_serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        help="result-cache capacity (LRU)",
+    )
+    p_serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-job execution deadline in seconds (default: none)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_faults = sub.add_parser(
         "faults", help="execute under fault injection"
@@ -522,6 +610,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults",
         action="store_true",
         help="also compare the fault surrogate against DES trials",
+    )
+    p_verify.add_argument(
+        "--service",
+        action="store_true",
+        help="also score each scenario through the HTTP placement "
+        "service and require exact (tier-0) agreement",
     )
     p_verify.add_argument(
         "--json",

@@ -494,9 +494,13 @@ class StageCache:
             spec, self._flatten(placement), placement.num_nodes
         )
 
-    @property
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters (stage = member level, node = assessments)."""
+        """Hit/miss counters (stage = member level, node = assessments).
+
+        The public statistics surface: the placement service aggregates
+        these per-worker dicts into its ``GET /stats`` payload, and
+        ``scripts/bench_search.py`` records them per benchmark row.
+        """
         return {
             "stage_hits": self.stage_hits,
             "stage_misses": self.stage_misses,

@@ -1,0 +1,75 @@
+"""Placement-as-a-service: the planner as a long-running backend.
+
+The scheduler stack evaluates placements as a one-shot library call;
+this package turns it into a *service* that fields many concurrent
+placement queries — the broker role that ensemble systems such as
+Ensemble Toolkit and the authors' co-scheduling follow-up assume a
+cluster provides. Four layers, stdlib only:
+
+- :mod:`~repro.service.schemas` — the wire format: lossless JSON
+  round-trips for ensemble specs, placements, requests, and scores
+  (floats survive bit-identically), plus the canonical request digest
+  that keys the result cache and the deterministic job ids;
+- :mod:`~repro.service.jobs` — :class:`PlacementJobQueue`, a
+  thread-safe priority queue with submit / poll / cancel /
+  ``pop_completed`` semantics and deterministic job ids;
+- :mod:`~repro.service.cache` — :class:`ResultCache`, an LRU over
+  finished result payloads keyed by the request digest, with
+  hit/miss/eviction counters;
+- :mod:`~repro.service.workers` — :class:`PlacementService`, a
+  :mod:`concurrent.futures` worker pool draining the queue through
+  the fast search engine (:func:`~repro.search.engine
+  .find_best_placement`, :func:`~repro.scheduler.robust
+  .rank_placements_robust`) with per-job timeout, retry on worker
+  crash, and graceful shutdown;
+- :mod:`~repro.service.api` / :mod:`~repro.service.client` — the
+  HTTP/JSON surface (``POST /jobs``, ``GET /jobs[/<id>]``,
+  ``DELETE /jobs/<id>``, ``GET /health``, ``GET /stats``) and the
+  matching Python :class:`PlacementClient`.
+
+Results are bit-identical to the direct library calls — the verify
+subsystem's service tier asserts a score obtained through the HTTP API
+equals :func:`~repro.scheduler.objectives.score_placement` exactly
+(tier 0), proving the serialization layer is lossless.
+"""
+
+from repro.service.api import PlacementServer, make_server
+from repro.service.cache import ResultCache
+from repro.service.client import PlacementClient, ServiceError
+from repro.service.jobs import JobState, PlacementJob, PlacementJobQueue
+from repro.service.schemas import (
+    PlacementRequest,
+    canonical_digest,
+    placement_from_dict,
+    placement_to_dict,
+    request_from_dict,
+    request_to_dict,
+    score_from_dict,
+    score_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.service.workers import PlacementService, execute_request
+
+__all__ = [
+    "JobState",
+    "PlacementClient",
+    "PlacementJob",
+    "PlacementJobQueue",
+    "PlacementRequest",
+    "PlacementServer",
+    "PlacementService",
+    "ResultCache",
+    "ServiceError",
+    "canonical_digest",
+    "execute_request",
+    "make_server",
+    "placement_from_dict",
+    "placement_to_dict",
+    "request_from_dict",
+    "request_to_dict",
+    "score_from_dict",
+    "score_to_dict",
+    "spec_from_dict",
+    "spec_to_dict",
+]

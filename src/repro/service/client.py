@@ -1,0 +1,158 @@
+"""Python client for the placement service (stdlib ``urllib`` only).
+
+A thin, dependency-free mirror of the HTTP surface: submit a
+:class:`~repro.service.schemas.PlacementRequest` (or a convenience
+search), poll, block on completion, cancel, and read health/stats.
+Deserialization goes through :mod:`repro.service.schemas`, so
+:meth:`PlacementClient.result_score` hands back a real
+:class:`~repro.scheduler.objectives.PlacementScore` carrying the
+service's floats unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import List, Optional
+
+from repro.runtime.spec import EnsembleSpec
+from repro.scheduler.objectives import PlacementScore
+from repro.service.schemas import (
+    PlacementRequest,
+    request_to_dict,
+    score_from_dict,
+)
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure reported by the placement service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class PlacementClient:
+    """Client bound to one service base URL.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``http://127.0.0.1:8765`` (trailing slash tolerated).
+    timeout:
+        Socket timeout per HTTP call, in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- HTTP plumbing ------------------------------------------------------
+    def _call(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, method=method, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8"))["error"]
+            except Exception:
+                message = exc.reason
+            raise ServiceError(exc.code, message) from exc
+
+    # -- API ----------------------------------------------------------------
+    def submit(
+        self, request: PlacementRequest, priority: int = 0
+    ) -> dict:
+        """POST the request; returns the job snapshot (with its id)."""
+        return self._call(
+            "POST",
+            "/jobs",
+            {"request": request_to_dict(request), "priority": priority},
+        )
+
+    def submit_search(
+        self,
+        spec: EnsembleSpec,
+        num_nodes: int,
+        cores_per_node: int = 32,
+        priority: int = 0,
+        **kwargs,
+    ) -> dict:
+        """Convenience: submit an exhaustive-search request."""
+        return self.submit(
+            PlacementRequest(
+                kind="search",
+                spec=spec,
+                num_nodes=num_nodes,
+                cores_per_node=cores_per_node,
+                **kwargs,
+            ),
+            priority=priority,
+        )
+
+    def job(self, job_id: str) -> dict:
+        """GET one job snapshot (includes the result when done)."""
+        return self._call("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[dict]:
+        """GET every tracked job (without result payloads)."""
+        return self._call("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> bool:
+        """DELETE a job; True iff it was pending and is now cancelled."""
+        return self._call("DELETE", f"/jobs/{job_id}")["cancelled"]
+
+    def health(self) -> dict:
+        return self._call("GET", "/health")
+
+    def stats(self) -> dict:
+        return self._call("GET", "/stats")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 30.0,
+        poll_interval: float = 0.01,
+    ) -> dict:
+        """Poll until the job is terminal; returns the final snapshot.
+
+        Raises
+        ------
+        TimeoutError
+            If the job is still pending/running after ``timeout``.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                return snapshot
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['state']} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    @staticmethod
+    def result_score(snapshot: dict) -> PlacementScore:
+        """The :class:`PlacementScore` inside a DONE job snapshot."""
+        if snapshot.get("state") != "done":
+            raise ServiceError(
+                409, f"job {snapshot.get('id')} is not done: {snapshot}"
+            )
+        return score_from_dict(snapshot["result"]["score"])

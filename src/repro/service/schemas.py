@@ -1,0 +1,379 @@
+"""The service wire format: lossless JSON round-trips.
+
+Everything the service moves over HTTP — ensemble specs, placements,
+requests, scores — serializes here, and *only* here, so the one-shot
+CLI (``plan --json``) and the service speak the same format. The
+round-trip contract is exact, not approximate: ``json.dumps`` renders
+floats with ``repr`` and Python parses them back to the identical
+IEEE-754 value, so a :class:`~repro.scheduler.objectives
+.PlacementScore` that travels through the API carries the very floats
+the scorer produced. The verify subsystem's service tier asserts this
+with tolerance 0.0.
+
+Component models serialize by *content*, not by reference: every
+constructor parameter plus the full
+:class:`~repro.platform.contention.WorkloadProfile` — the fields the
+:class:`~repro.search.cache.StageCache` fingerprints — so a
+deserialized spec scores bit-identically to the original. Only the two
+paper model types are wire-transportable; an unknown
+:class:`~repro.components.base.ComponentModel` subclass raises
+:class:`~repro.util.errors.ValidationError` rather than serializing
+lossily.
+
+:func:`canonical_digest` hashes the canonical JSON rendering of a
+request (sorted keys, no whitespace), giving the content-addressed key
+the :class:`~repro.service.cache.ResultCache` and the deterministic
+job ids build on: two semantically identical requests — however they
+were constructed — share one digest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.components.analysis import EigenAnalysisModel
+from repro.components.base import ComponentModel
+from repro.components.simulation import MDSimulationModel
+from repro.faults.recovery import POLICY_NAMES
+from repro.platform.contention import WorkloadProfile
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec, MemberSpec
+from repro.scheduler.objectives import PlacementScore
+from repro.scheduler.robust import RobustScore
+from repro.util.errors import ValidationError
+from repro.util.validation import require_positive_int
+
+#: Wire-format version carried by every request payload.
+SCHEMA_VERSION = 1
+
+#: Request kinds the service executes.
+REQUEST_KINDS: Tuple[str, ...] = ("search", "score", "rank")
+
+_PROFILE_FIELDS = (
+    "working_set_bytes",
+    "llc_refs_per_instr",
+    "solo_llc_miss_ratio",
+    "max_llc_miss_ratio",
+    "contention_exponent",
+    "base_cpi",
+    "instructions_per_unit",
+    "miss_penalty_cycles",
+)
+
+
+# -- components and specs ----------------------------------------------------
+def _profile_to_dict(profile: WorkloadProfile) -> dict:
+    out = {"name": profile.name}
+    for field in _PROFILE_FIELDS:
+        out[field] = getattr(profile, field)
+    return out
+
+
+def _profile_from_dict(payload: dict) -> WorkloadProfile:
+    return WorkloadProfile(**{k: payload[k] for k in ("name",) + _PROFILE_FIELDS})
+
+
+def component_to_dict(model: ComponentModel) -> dict:
+    """Serialize one component model by content.
+
+    Raises
+    ------
+    ValidationError
+        For model types outside the wire format (custom subclasses
+        would round-trip lossily, so they are rejected instead).
+    """
+    if isinstance(model, MDSimulationModel):
+        return {
+            "type": "md_simulation",
+            "name": model.name,
+            "cores": model.cores,
+            "natoms": model.natoms,
+            "stride": model.stride,
+            "seconds_per_atom_step": model.seconds_per_atom_step,
+            "serial_fraction": model.serial_fraction,
+            "profile": _profile_to_dict(model.profile),
+        }
+    if isinstance(model, EigenAnalysisModel):
+        return {
+            "type": "eigen_analysis",
+            "name": model.name,
+            "cores": model.cores,
+            "natoms": model.natoms,
+            "single_core_time": model.single_core_time,
+            "serial_fraction": model.serial_fraction,
+            "profile": _profile_to_dict(model.profile),
+        }
+    raise ValidationError(
+        f"component {model.name!r} has non-serializable type "
+        f"{type(model).__qualname__}; wire format supports "
+        f"MDSimulationModel and EigenAnalysisModel"
+    )
+
+
+def component_from_dict(payload: dict) -> ComponentModel:
+    """Rebuild a component model from its wire dict."""
+    kind = payload.get("type")
+    profile = _profile_from_dict(payload["profile"])
+    if kind == "md_simulation":
+        return MDSimulationModel(
+            name=payload["name"],
+            cores=payload["cores"],
+            natoms=payload["natoms"],
+            stride=payload["stride"],
+            seconds_per_atom_step=payload["seconds_per_atom_step"],
+            serial_fraction=payload["serial_fraction"],
+            profile=profile,
+        )
+    if kind == "eigen_analysis":
+        return EigenAnalysisModel(
+            name=payload["name"],
+            cores=payload["cores"],
+            natoms=payload["natoms"],
+            single_core_time=payload["single_core_time"],
+            serial_fraction=payload["serial_fraction"],
+            profile=profile,
+        )
+    raise ValidationError(f"unknown component type {kind!r} in payload")
+
+
+def spec_to_dict(spec: EnsembleSpec) -> dict:
+    """Serialize an :class:`EnsembleSpec` (content-complete)."""
+    return {
+        "name": spec.name,
+        "members": [
+            {
+                "name": m.name,
+                "n_steps": m.n_steps,
+                "simulation": component_to_dict(m.simulation),
+                "analyses": [component_to_dict(a) for a in m.analyses],
+            }
+            for m in spec.members
+        ],
+    }
+
+
+def spec_from_dict(payload: dict) -> EnsembleSpec:
+    """Rebuild an :class:`EnsembleSpec`; validation reruns on build."""
+    members = tuple(
+        MemberSpec(
+            name=m["name"],
+            simulation=component_from_dict(m["simulation"]),
+            analyses=tuple(component_from_dict(a) for a in m["analyses"]),
+            n_steps=m["n_steps"],
+        )
+        for m in payload["members"]
+    )
+    return EnsembleSpec(payload["name"], members)
+
+
+# -- placements --------------------------------------------------------------
+def placement_to_dict(placement: EnsemblePlacement) -> dict:
+    return {
+        "num_nodes": placement.num_nodes,
+        "members": [
+            {
+                "simulation_node": mp.simulation_node,
+                "analysis_nodes": list(mp.analysis_nodes),
+            }
+            for mp in placement.members
+        ],
+    }
+
+
+def placement_from_dict(payload: dict) -> EnsemblePlacement:
+    return EnsemblePlacement(
+        num_nodes=payload["num_nodes"],
+        members=tuple(
+            MemberPlacement(
+                simulation_node=m["simulation_node"],
+                analysis_nodes=tuple(m["analysis_nodes"]),
+            )
+            for m in payload["members"]
+        ),
+    )
+
+
+# -- scores ------------------------------------------------------------------
+def score_to_dict(score: PlacementScore) -> dict:
+    """Serialize a :class:`PlacementScore` (floats survive exactly)."""
+    return {
+        "placement": placement_to_dict(score.placement),
+        "objective": score.objective,
+        "ensemble_makespan": score.ensemble_makespan,
+        "num_nodes": score.num_nodes,
+        "member_indicators": list(score.member_indicators),
+        "robust_penalty": score.robust_penalty,
+        "utility": score.utility,
+    }
+
+
+def score_from_dict(payload: dict) -> PlacementScore:
+    return PlacementScore(
+        placement=placement_from_dict(payload["placement"]),
+        objective=payload["objective"],
+        ensemble_makespan=payload["ensemble_makespan"],
+        num_nodes=payload["num_nodes"],
+        member_indicators=tuple(payload["member_indicators"]),
+        robust_penalty=payload["robust_penalty"],
+    )
+
+
+def robust_score_to_dict(score: RobustScore) -> dict:
+    """Serialize a :class:`~repro.scheduler.robust.RobustScore`."""
+    return {
+        "name": score.name,
+        "placement": placement_to_dict(score.placement),
+        "objective": score.objective,
+        "ideal_objective": score.ideal_objective,
+        "mean_inflation": score.mean_inflation,
+        "mean_goodput": score.mean_goodput,
+        "num_nodes": score.num_nodes,
+        "trials": score.trials,
+    }
+
+
+def robust_score_from_dict(payload: dict) -> RobustScore:
+    return RobustScore(
+        name=payload["name"],
+        placement=placement_from_dict(payload["placement"]),
+        objective=payload["objective"],
+        ideal_objective=payload["ideal_objective"],
+        mean_inflation=payload["mean_inflation"],
+        mean_goodput=payload["mean_goodput"],
+        num_nodes=payload["num_nodes"],
+        trials=payload["trials"],
+    )
+
+
+# -- requests ----------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class PlacementRequest:
+    """One placement query, as the service understands it.
+
+    ``kind`` selects the execution path:
+
+    - ``"search"`` — exhaustive canonical search over ``num_nodes`` x
+      ``cores_per_node`` via :func:`~repro.search.engine
+      .find_best_placement`; returns the best score and the candidate
+      count;
+    - ``"score"`` — score the given ``placement`` via
+      :func:`~repro.scheduler.objectives.score_placement`;
+    - ``"rank"`` — robust-rank the named ``candidates`` with the
+      analytic surrogate (:func:`~repro.scheduler.robust
+      .rank_placements_robust`, ``method="surrogate"``).
+
+    A positive ``robust_rate`` prices failures into search/score
+    requests through a node-crash
+    :class:`~repro.faults.analytic.RobustnessTerm` (weight
+    ``robust_weight``, recovery ``policy``); rank requests always use
+    ``robust_rate`` as the crash/straggler rate of the surrogate's
+    failure model.
+    """
+
+    kind: str
+    spec: EnsembleSpec
+    num_nodes: int
+    cores_per_node: int = 32
+    placement: Optional[EnsemblePlacement] = None
+    candidates: Optional[Dict[str, EnsemblePlacement]] = None
+    robust_rate: float = 0.0
+    robust_weight: float = 1.0
+    policy: str = "retry"
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ValidationError(
+                f"unknown request kind {self.kind!r}; "
+                f"valid: {list(REQUEST_KINDS)}"
+            )
+        require_positive_int("num_nodes", self.num_nodes)
+        require_positive_int("cores_per_node", self.cores_per_node)
+        if self.kind == "score" and self.placement is None:
+            raise ValidationError("a 'score' request needs a placement")
+        if self.kind == "rank" and not self.candidates:
+            raise ValidationError(
+                "a 'rank' request needs at least one named candidate"
+            )
+        if self.robust_rate < 0:
+            raise ValidationError(
+                f"robust_rate must be >= 0, got {self.robust_rate!r}"
+            )
+        if self.policy not in POLICY_NAMES:
+            raise ValidationError(
+                f"unknown recovery policy {self.policy!r}; "
+                f"valid: {list(POLICY_NAMES)}"
+            )
+
+
+def request_to_dict(request: PlacementRequest) -> dict:
+    """Serialize a request (including the schema version)."""
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": request.kind,
+        "spec": spec_to_dict(request.spec),
+        "num_nodes": request.num_nodes,
+        "cores_per_node": request.cores_per_node,
+        "robust_rate": request.robust_rate,
+        "robust_weight": request.robust_weight,
+        "policy": request.policy,
+        "base_seed": request.base_seed,
+    }
+    if request.placement is not None:
+        payload["placement"] = placement_to_dict(request.placement)
+    if request.candidates is not None:
+        payload["candidates"] = {
+            name: placement_to_dict(p)
+            for name, p in request.candidates.items()
+        }
+    return payload
+
+
+def request_from_dict(payload: dict) -> PlacementRequest:
+    """Rebuild a request; unknown schema versions are rejected."""
+    version = payload.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported schema_version {version!r} "
+            f"(this build speaks {SCHEMA_VERSION})"
+        )
+    placement = payload.get("placement")
+    candidates = payload.get("candidates")
+    return PlacementRequest(
+        kind=payload["kind"],
+        spec=spec_from_dict(payload["spec"]),
+        num_nodes=payload["num_nodes"],
+        cores_per_node=payload.get("cores_per_node", 32),
+        placement=(
+            placement_from_dict(placement) if placement is not None else None
+        ),
+        candidates=(
+            {n: placement_from_dict(p) for n, p in candidates.items()}
+            if candidates is not None
+            else None
+        ),
+        robust_rate=payload.get("robust_rate", 0.0),
+        robust_weight=payload.get("robust_weight", 1.0),
+        policy=payload.get("policy", "retry"),
+        base_seed=payload.get("base_seed", 0),
+    )
+
+
+def canonical_json(payload: dict) -> str:
+    """The canonical rendering digests are computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_digest(request: PlacementRequest) -> str:
+    """Content-addressed key of one request (hex SHA-256).
+
+    Every semantic field participates — spec content, kind, budgets,
+    placement/candidates, and the fault model — so two requests share
+    a digest iff the service would compute the identical result for
+    both. Submission metadata (priority, timeouts) never enters.
+    """
+    rendered = canonical_json(request_to_dict(request))
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()

@@ -12,8 +12,11 @@ structured agreement in three tiers:
 - **Tier 0 (exact)** — paths that share the effective-stage model must
   agree bit-for-bit: :class:`~repro.search.cache.StageCache` stages vs
   the uncached predictor, cached vs uncached
-  :func:`~repro.scheduler.objectives.score_placement`, and the
-  surrogate's failure-free baseline. Tolerance is literally 0.0.
+  :func:`~repro.scheduler.objectives.score_placement`, the
+  surrogate's failure-free baseline, and — when a service URL is
+  given — a score obtained through the placement service's HTTP API
+  (:mod:`repro.service`), proving the JSON wire format is lossless.
+  Tolerance is literally 0.0.
 - **Tier 1 (tolerance-banded)** — the DES executor adds protocol
   dynamics; its noise-free steady-state estimates must match the
   analytic prediction within per-metric relative tolerances
@@ -190,6 +193,80 @@ def _stage_floats(stages: MemberStages) -> List[Tuple[str, float]]:
     return out
 
 
+def _service_checks(
+    spec: EnsembleSpec,
+    placement: EnsemblePlacement,
+    reference_score,
+    service_url: str,
+    tolerance: float,
+) -> List[MetricCheck]:
+    """Tier-0 checks of the HTTP service path against the direct scorer.
+
+    The scenario travels the full wire: request serialization, HTTP
+    submission, worker-side scoring, result serialization, and client
+    deserialization. Every float must come back identical — the
+    service tier is how the oracle proves
+    :mod:`repro.service.schemas` is lossless.
+    """
+    from repro.service.client import PlacementClient
+    from repro.service.schemas import PlacementRequest
+
+    client = PlacementClient(service_url)
+    snapshot = client.submit(
+        PlacementRequest(
+            kind="score",
+            spec=spec,
+            num_nodes=placement.num_nodes,
+            placement=placement,
+        )
+    )
+    service_score = client.result_score(client.wait(snapshot["id"]))
+    checks = [
+        MetricCheck(
+            scope="ensemble",
+            metric="objective",
+            paths="score-vs-service",
+            reference=reference_score.objective,
+            candidate=service_score.objective,
+            tolerance=tolerance,
+        ),
+        MetricCheck(
+            scope="ensemble",
+            metric="makespan",
+            paths="score-vs-service",
+            reference=reference_score.ensemble_makespan,
+            candidate=service_score.ensemble_makespan,
+            tolerance=tolerance,
+        ),
+        MetricCheck(
+            scope="ensemble",
+            metric="same_placement",
+            paths="score-vs-service",
+            reference=1.0,
+            candidate=(
+                1.0 if service_score.placement == placement else 0.0
+            ),
+            tolerance=tolerance,
+        ),
+    ]
+    for member, ref_i, cand_i in zip(
+        spec.members,
+        reference_score.member_indicators,
+        service_score.member_indicators,
+    ):
+        checks.append(
+            MetricCheck(
+                scope=member.name,
+                metric="indicator",
+                paths="score-vs-service",
+                reference=ref_i,
+                candidate=cand_i,
+                tolerance=tolerance,
+            )
+        )
+    return checks
+
+
 def run_differential_oracle(
     spec: EnsembleSpec,
     placement: EnsemblePlacement,
@@ -203,6 +280,7 @@ def run_differential_oracle(
     recovery: Optional[RecoveryPolicy] = None,
     fault_trials: int = 3,
     scenario: str = "adhoc",
+    service_url: Optional[str] = None,
 ) -> DivergenceReport:
     """Run one scenario through every evaluation path; report agreement.
 
@@ -232,6 +310,13 @@ def run_differential_oracle(
         ``fault_trials`` DES trials.
     scenario:
         Label carried into the report.
+    service_url:
+        Base URL of a running placement service. When given (and the
+        scenario uses the default platform context), the scenario is
+        additionally scored through the HTTP API and the deserialized
+        result must match the direct scorer *exactly* (tier 0) —
+        objective, makespan, and every member indicator — proving the
+        wire format is lossless.
 
     Returns
     -------
@@ -314,6 +399,14 @@ def run_differential_oracle(
                     tolerance=tol["cache"],
                 )
             )
+
+    # -- tier 0: the HTTP service path vs the direct scorer ----------------
+    if service_url is not None and cluster is None and dtl is None:
+        checks.extend(
+            _service_checks(
+                spec, placement, reference_score, service_url, tol["cache"]
+            )
+        )
 
     # -- tier 1: noise-free DES vs the analytic steady state ---------------
     result = run_ensemble(
@@ -447,6 +540,7 @@ def verify_scenarios(
     n_steps: int = 6,
     include_faults: bool = False,
     tolerances: Optional[Mapping[str, float]] = None,
+    include_service: bool = False,
 ) -> List[DivergenceReport]:
     """Run the oracle over the canonical Table 2 scenarios.
 
@@ -454,7 +548,10 @@ def verify_scenarios(
     raise :class:`~repro.util.errors.ValidationError`. With
     ``include_faults`` each scenario additionally runs the Tier-2
     surrogate-vs-DES comparison under a seeded random crash/straggler
-    model.
+    model. With ``include_service`` an in-process placement service is
+    booted on an ephemeral port and every scenario is also scored
+    through its HTTP API, which must agree with the direct scorer
+    exactly (tier 0).
     """
     from repro.configs.base import build_spec
     from repro.configs.table2 import TABLE2_CONFIGS
@@ -467,22 +564,32 @@ def verify_scenarios(
             f"unknown Table 2 configurations: {unknown}; "
             f"valid: {sorted(TABLE2_CONFIGS)}"
         )
-    reports: List[DivergenceReport] = []
-    for name in selected:
-        config = TABLE2_CONFIGS[name]
-        spec = build_spec(config, n_steps=n_steps)
-        model = (
-            RandomFailureModel(rate=0.08, seed=11)
-            if include_faults
-            else None
-        )
-        reports.append(
-            run_differential_oracle(
-                spec,
-                config.placement(),
-                tolerances=tolerances,
-                failure_model=model,
-                scenario=name,
+    server = None
+    if include_service:
+        from repro.service.api import make_server
+
+        server = make_server(port=0, workers=2).start()
+    try:
+        reports: List[DivergenceReport] = []
+        for name in selected:
+            config = TABLE2_CONFIGS[name]
+            spec = build_spec(config, n_steps=n_steps)
+            model = (
+                RandomFailureModel(rate=0.08, seed=11)
+                if include_faults
+                else None
             )
-        )
-    return reports
+            reports.append(
+                run_differential_oracle(
+                    spec,
+                    config.placement(),
+                    tolerances=tolerances,
+                    failure_model=model,
+                    scenario=name,
+                    service_url=server.url if server is not None else None,
+                )
+            )
+        return reports
+    finally:
+        if server is not None:
+            server.stop()

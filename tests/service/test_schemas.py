@@ -1,0 +1,239 @@
+"""Wire-format round-trips are lossless and digests are content keys.
+
+The serialization contract is exact: a spec / placement / score /
+request that travels ``to_dict -> json -> from_dict`` comes back with
+the identical floats (json renders via ``repr``, which round-trips
+IEEE-754). Digests depend on content only — two independently built
+but semantically identical requests share one digest; flipping any
+semantic field changes it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.components.base import ComponentModel
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec, default_member
+from repro.scheduler.objectives import score_placement
+from repro.search.engine import find_best_placement
+from repro.service.schemas import (
+    SCHEMA_VERSION,
+    PlacementRequest,
+    canonical_digest,
+    canonical_json,
+    component_to_dict,
+    placement_from_dict,
+    placement_to_dict,
+    request_from_dict,
+    request_to_dict,
+    score_from_dict,
+    score_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.util.errors import PlacementError, ValidationError
+from tests.strategies import search_grids
+
+
+def _json_round_trip(payload: dict) -> dict:
+    return json.loads(json.dumps(payload))
+
+
+def _best_or_skip(spec, num_nodes, cores_per_node):
+    """The grid's best score, assuming the draw is feasible."""
+    try:
+        best, _ = find_best_placement(spec, num_nodes, cores_per_node)
+    except PlacementError:
+        assume(False)
+    return best
+
+
+def _search_request(spec, num_nodes, cores_per_node) -> PlacementRequest:
+    return PlacementRequest(
+        kind="search",
+        spec=spec,
+        num_nodes=num_nodes,
+        cores_per_node=cores_per_node,
+    )
+
+
+class TestSpecRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(grid=search_grids())
+    def test_spec_survives_json(self, grid):
+        spec, _, _ = grid
+        payload = _json_round_trip(spec_to_dict(spec))
+        rebuilt = spec_from_dict(payload)
+        # ComponentModel has no __eq__; content equality is asserted
+        # through the canonical rendering itself
+        assert spec_to_dict(rebuilt) == spec_to_dict(spec)
+        assert rebuilt.name == spec.name
+        assert len(rebuilt.members) == len(spec.members)
+
+    @settings(max_examples=10, deadline=None)
+    @given(grid=search_grids())
+    def test_rebuilt_spec_scores_identically(self, grid):
+        spec, num_nodes, cores_per_node = grid
+        best = _best_or_skip(spec, num_nodes, cores_per_node)
+        rebuilt = spec_from_dict(_json_round_trip(spec_to_dict(spec)))
+        rescored = score_placement(rebuilt, best.placement)
+        assert rescored.objective == best.objective
+        assert rescored.ensemble_makespan == best.ensemble_makespan
+        assert rescored.member_indicators == best.member_indicators
+
+    def test_unknown_component_type_rejected(self):
+        class OpaqueModel(ComponentModel):
+            def solo_compute_time(self) -> float:  # pragma: no cover
+                return 1.0
+
+            def payload_bytes(self) -> int:  # pragma: no cover
+                return 1
+
+        member = default_member("em1", num_analyses=1, n_steps=2)
+        opaque = OpaqueModel.__new__(OpaqueModel)
+        opaque.spec = member.simulation.spec
+        opaque.profile = member.simulation.profile
+        with pytest.raises(ValidationError, match="non-serializable"):
+            component_to_dict(opaque)
+
+    def test_unknown_component_payload_rejected(self):
+        member = default_member("em1", num_analyses=1, n_steps=2)
+        payload = component_to_dict(member.simulation)
+        payload["type"] = "quantum_oracle"
+        with pytest.raises(ValidationError, match="unknown component type"):
+            spec_from_dict(
+                {
+                    "name": "x",
+                    "members": [
+                        {
+                            "name": "em1",
+                            "n_steps": 2,
+                            "simulation": payload,
+                            "analyses": [],
+                        }
+                    ],
+                }
+            )
+
+
+class TestPlacementAndScoreRoundTrip:
+    def test_placement_round_trip_exact(self):
+        placement = EnsemblePlacement(
+            3,
+            (
+                MemberPlacement(0, (1, 2)),
+                MemberPlacement(2, (0,)),
+            ),
+        )
+        rebuilt = placement_from_dict(
+            _json_round_trip(placement_to_dict(placement))
+        )
+        assert rebuilt == placement
+
+    @settings(max_examples=10, deadline=None)
+    @given(grid=search_grids())
+    def test_score_floats_survive_exactly(self, grid):
+        spec, num_nodes, cores_per_node = grid
+        best = _best_or_skip(spec, num_nodes, cores_per_node)
+        rebuilt = score_from_dict(_json_round_trip(score_to_dict(best)))
+        assert rebuilt.objective == best.objective
+        assert rebuilt.ensemble_makespan == best.ensemble_makespan
+        assert rebuilt.member_indicators == best.member_indicators
+        assert rebuilt.robust_penalty == best.robust_penalty
+        assert rebuilt.placement == best.placement
+        assert rebuilt == best  # PlacementScore key equality
+
+
+class TestRequestValidation:
+    def _spec(self):
+        return EnsembleSpec(
+            "v", (default_member("em1", num_analyses=1, n_steps=2),)
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="unknown request kind"):
+            PlacementRequest(kind="optimize", spec=self._spec(), num_nodes=2)
+
+    def test_score_needs_placement(self):
+        with pytest.raises(ValidationError, match="needs a placement"):
+            PlacementRequest(kind="score", spec=self._spec(), num_nodes=2)
+
+    def test_rank_needs_candidates(self):
+        with pytest.raises(ValidationError, match="named candidate"):
+            PlacementRequest(kind="rank", spec=self._spec(), num_nodes=2)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValidationError, match="recovery policy"):
+            PlacementRequest(
+                kind="search",
+                spec=self._spec(),
+                num_nodes=2,
+                policy="wishful",
+            )
+
+    def test_unsupported_schema_version_rejected(self):
+        request = _search_request(self._spec(), 2, 32)
+        payload = request_to_dict(request)
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValidationError, match="schema_version"):
+            request_from_dict(payload)
+
+
+class TestCanonicalDigest:
+    @settings(max_examples=20, deadline=None)
+    @given(grid=search_grids())
+    def test_round_trip_preserves_digest(self, grid):
+        request = _search_request(*grid)
+        rebuilt = request_from_dict(
+            _json_round_trip(request_to_dict(request))
+        )
+        assert canonical_digest(rebuilt) == canonical_digest(request)
+
+    def test_independent_identical_requests_share_digest(self):
+        def build():
+            spec = EnsembleSpec(
+                "twin", (default_member("em1", num_analyses=2, n_steps=3),)
+            )
+            return _search_request(spec, 3, 32)
+
+        assert canonical_digest(build()) == canonical_digest(build())
+
+    def test_every_semantic_field_enters_digest(self):
+        spec = EnsembleSpec(
+            "base", (default_member("em1", num_analyses=1, n_steps=3),)
+        )
+        base = _search_request(spec, 3, 32)
+        variants = [
+            _search_request(spec, 4, 32),  # num_nodes
+            _search_request(spec, 3, 48),  # cores_per_node
+            PlacementRequest(
+                kind="search", spec=spec, num_nodes=3, robust_rate=0.01
+            ),
+            PlacementRequest(
+                kind="search",
+                spec=spec,
+                num_nodes=3,
+                robust_rate=0.01,
+                policy="restart",
+            ),
+            _search_request(
+                EnsembleSpec(
+                    "base",
+                    (default_member("em1", num_analyses=1, n_steps=4),),
+                ),
+                3,
+                32,
+            ),
+        ]
+        digests = [canonical_digest(v) for v in variants]
+        assert canonical_digest(base) not in digests
+        assert len(set(digests)) == len(digests)
+
+    def test_canonical_json_is_key_order_independent(self):
+        a = canonical_json({"b": 1, "a": {"y": 2.5, "x": [1, 2]}})
+        b = canonical_json({"a": {"x": [1, 2], "y": 2.5}, "b": 1})
+        assert a == b

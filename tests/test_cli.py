@@ -103,6 +103,58 @@ class TestPlan:
         assert "error:" in capsys.readouterr().err
 
 
+class TestPlanJson:
+    def test_json_output_is_wire_format(self, capsys):
+        import json
+
+        assert (
+            main(["plan", "--members", "2", "--analyses", "1",
+                  "--nodes", "2", "--steps", "4", "--json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["node_budget"] == 2
+        assert len(payload["spec"]["members"]) == 2
+
+    def test_json_deserializes_and_rescores_exactly(self, capsys):
+        import json
+
+        from repro.scheduler.objectives import score_placement
+        from repro.service.schemas import (
+            placement_from_dict,
+            score_from_dict,
+            spec_from_dict,
+        )
+
+        assert (
+            main(["plan", "--members", "2", "--analyses", "1",
+                  "--nodes", "2", "--steps", "4", "--json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        spec = spec_from_dict(payload["spec"])
+        placement = placement_from_dict(payload["placement"])
+        reported = score_from_dict(payload["score"])
+        rescored = score_placement(spec, placement)
+        assert rescored.objective == reported.objective
+        assert rescored.ensemble_makespan == reported.ensemble_makespan
+
+
+class TestServe:
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.workers == 2
+        assert args.cache_entries == 1024
+        assert args.job_timeout is None
+
+    def test_verify_service_flag(self, capsys):
+        assert main(["verify", "C1.1", "--steps", "4", "--service"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+
 class TestFigures:
     def test_fast_figures(self, capsys):
         assert main(["figures", "--fast"]) == 0

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.runtime",
     "repro.scheduler",
     "repro.search",
+    "repro.service",
     "repro.util",
     "repro.verify",
 ]

@@ -1,0 +1,109 @@
+"""The oracle's service tier: the HTTP path is tier-0 exact.
+
+A scenario scored through the live placement service (real sockets,
+real JSON) must deserialize to *exactly* what the direct scorer
+computes — tolerance 0.0 on the objective, the makespan, and every
+member indicator. And the tier must have teeth: a service that
+perturbs a result by one ulp is caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.configs.base import build_spec
+from repro.configs.table2 import TABLE2_CONFIGS
+from repro.service.api import PlacementServer, make_server
+from repro.service.workers import PlacementService, execute_request
+from repro.verify.oracles import run_differential_oracle, verify_scenarios
+from tests.tolerances import ORACLE_TOLERANCES
+
+
+@pytest.fixture(scope="module")
+def service_report():
+    config = TABLE2_CONFIGS["C1.1"]
+    spec = build_spec(config, n_steps=4)
+    with make_server(port=0, workers=2) as server:
+        yield run_differential_oracle(
+            spec,
+            config.placement(),
+            tolerances=ORACLE_TOLERANCES,
+            scenario="C1.1",
+            service_url=server.url,
+        )
+
+
+class TestServiceTierAgreement:
+    def test_scenario_passes_through_the_wire(self, service_report):
+        assert service_report.passed, service_report.to_text(verbose=True)
+
+    def test_service_checks_present_and_exact(self, service_report):
+        service_checks = [
+            c for c in service_report.checks
+            if c.paths == "score-vs-service"
+        ]
+        assert service_checks, "oracle ran without the service tier"
+        metrics = {c.metric for c in service_checks}
+        assert {"objective", "makespan", "same_placement"} <= metrics
+        assert any(c.metric == "indicator" for c in service_checks)
+        for check in service_checks:
+            assert check.tolerance == 0.0  # tier 0, never banded
+            assert check.ok
+
+    def test_tier_skipped_without_url(self):
+        config = TABLE2_CONFIGS["C1.1"]
+        spec = build_spec(config, n_steps=4)
+        report = run_differential_oracle(
+            spec,
+            config.placement(),
+            tolerances=ORACLE_TOLERANCES,
+            scenario="C1.1",
+        )
+        assert not any(
+            c.paths == "score-vs-service" for c in report.checks
+        )
+
+
+class TestServiceTierTeeth:
+    def test_one_ulp_perturbation_is_caught(self):
+        """A service that nudges the objective by one ulp must fail."""
+        import math
+
+        def perturbing(request, stage_cache=None):
+            payload = execute_request(request, stage_cache=stage_cache)
+            score = payload["score"]
+            score["objective"] = math.nextafter(
+                score["objective"], math.inf
+            )
+            return payload
+
+        config = TABLE2_CONFIGS["C1.1"]
+        spec = build_spec(config, n_steps=4)
+        service = PlacementService(workers=1, execute_fn=perturbing)
+        with PlacementServer(service=service, port=0) as server:
+            report = run_differential_oracle(
+                spec,
+                config.placement(),
+                tolerances=ORACLE_TOLERANCES,
+                scenario="C1.1-mutant",
+                service_url=server.url,
+            )
+        assert not report.passed
+        failing = [c for c in report.failures]
+        assert all(c.paths == "score-vs-service" for c in failing)
+        assert any(c.metric == "objective" for c in failing)
+
+
+class TestVerifyScenariosIntegration:
+    def test_include_service_boots_and_passes(self):
+        reports = verify_scenarios(
+            names=["C1.1"],
+            n_steps=4,
+            tolerances=ORACLE_TOLERANCES,
+            include_service=True,
+        )
+        (report,) = reports
+        assert report.passed, report.to_text(verbose=True)
+        assert any(
+            c.paths == "score-vs-service" for c in report.checks
+        )
