@@ -1,9 +1,10 @@
 """Benchmark: the fast placement-search engine vs the seed paths.
 
 Times canonical enumeration, the cached exhaustive engine, batch
-scoring, and incremental annealing against the preserved seed
-implementations — asserting bit-identical results (same winners, same
-floats to 1e-12, same candidate counts) alongside the speedups.
+scoring, the vectorized branch-and-bound search, and incremental
+annealing against the preserved seed implementations — asserting
+bit-identical results (same winners, same floats to 1e-12, same
+candidate counts) alongside the speedups.
 ``scripts/bench_search.py`` records the same comparison to
 ``BENCH_search.json`` with hard regression floors.
 """
@@ -95,6 +96,27 @@ def test_bench_batch_scoring(benchmark):
         assert got.objective == want.objective
         assert got.ensemble_makespan == want.ensemble_makespan
     print(f"\nbatch-scored {len(scores)} candidates through one cache")
+
+
+def test_bench_vectorized_search(benchmark):
+    from repro.search import find_best_placement_vectorized
+
+    spec = _spec()
+    find_best_placement_vectorized(spec, NUM_NODES, CORES)  # warm
+
+    result = benchmark(
+        lambda: find_best_placement_vectorized(spec, NUM_NODES, CORES)
+    )
+
+    scalar, evaluated = find_best_placement(spec, NUM_NODES, CORES)
+    assert result.scored + result.pruned == evaluated
+    assert result.best.placement == scalar.placement
+    assert result.best.objective == scalar.objective
+    assert result.best.ensemble_makespan == scalar.ensemble_makespan
+    print(
+        f"\nbranch-and-bound: scored {result.scored}, pruned "
+        f"{result.pruned} of {evaluated} (winner == scalar engine)"
+    )
 
 
 def test_bench_incremental_annealing(benchmark):

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the fast placement-search engine against the seed paths.
 
-Two measurements, each with a built-in exactness check:
+Three measurements, each with a built-in exactness check:
 
 - **exhaustive**: :func:`repro.search.engine.find_best_placement`
   (canonical enumeration + stage cache) against the seed loop
@@ -13,11 +13,22 @@ Two measurements, each with a built-in exactness check:
   .SimulatedAnnealingPolicy` with incremental (delta) evaluation
   against the same schedule re-scoring every candidate in full.
   Identical placements and move statistics are asserted.
+- **scaling**: the vectorized branch-and-bound search
+  (:func:`~repro.search.vectorized.find_best_placement_vectorized`)
+  over a nodes x members grid. Each cell times the raw column kernel
+  on a capped candidate stream *and* the full search (scored + pruned
+  must equal the closed-form canonical count); the table is gated on
+  a search-throughput floor, on a fitted growth exponent of kernel
+  time versus batch size (the scaling law — see ``docs/SCALING.md``),
+  and on covering at least :data:`SCALING_MIN_NODE_SIZES` node sizes.
+  A small cell is re-searched by the scalar engine and must return
+  the identical winner.
 
 Writes ``BENCH_search.json`` (exhaustive speedup, annealing speedup,
-problem sizes, floors, correctness reports) and exits non-zero on
-regression — so CI can run ``python scripts/bench_search.py --quick``
-as a regression gate. The two failure classes are never confused:
+the scaling table, problem sizes, floors, correctness reports) and
+exits non-zero on regression — so CI can run
+``python scripts/bench_search.py --quick`` as a regression gate. The
+two failure classes are never confused:
 
 - exit **1** — a *performance* floor was missed (speedup too small);
 - exit **2** — a *correctness* divergence: the fast path disagreed
@@ -44,14 +55,25 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+import numpy as np  # noqa: E402
+
 from repro.runtime.spec import EnsembleSpec, default_member  # noqa: E402
 from repro.scheduler.annealing import (  # noqa: E402
     SimulatedAnnealingPolicy,
 )
 from repro.scheduler.objectives import score_placement  # noqa: E402
 from repro.search import find_best_placement  # noqa: E402
+from repro.search.canonical import (  # noqa: E402
+    component_core_demands,
+    count_canonical_assignments,
+    iter_assignment_chunks,
+)
 from repro.search.reference import (  # noqa: E402
     enumerate_placements_reference,
+)
+from repro.search.vectorized import (  # noqa: E402
+    VectorizedScorer,
+    find_best_placement_vectorized,
 )
 from repro.verify.oracles import (  # noqa: E402
     DivergenceReport,
@@ -65,6 +87,63 @@ ANNEALING_FLOOR = 5.0
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_search.json"
 
 CORES_PER_NODE = 32
+
+#: the scaling sweep's node-budget axis — node-count invariance is the
+#: point: canonical labels never exceed the component count, so cells
+#: along this axis cost the same per candidate from 8 nodes to 512.
+SCALING_NODE_SIZES = (8, 32, 128, 512)
+#: member-count axis (the size axis that actually grows the space).
+#: Full mode adds the 4-member column whose ~1.1M-candidate cells are
+#: where the branch-and-bound throughput floor is demonstrated.
+SCALING_MEMBERS_QUICK = (2, 3)
+SCALING_MEMBERS_FULL = (2, 3, 4)
+#: per-cell cap on raw-kernel rows (the timed batch-scoring stream);
+#: the branch-and-bound search itself always covers the full space.
+SCALING_KERNEL_CAP_QUICK = 40_000
+SCALING_KERNEL_CAP_FULL = 400_000
+#: search-throughput floors (candidates dispatched — scored or pruned
+#: in closed form — per second of ``find_best_placement_vectorized``,
+#: best cell). Quick mode's grid tops out at ~10k-candidate cells
+#: where fixed setup dominates, hence the lower bar.
+SCALING_THROUGHPUT_FLOOR_FULL = 1.0e6
+SCALING_THROUGHPUT_FLOOR_QUICK = 1.0e5
+#: ceiling on the fitted growth exponent of kernel seconds vs batch
+#: rows (log-log least squares): the kernel must stay essentially
+#: linear in the candidate count.
+SCALING_EXPONENT_CEILING = 1.35
+#: minimum distinct node sizes the table must cover.
+SCALING_MIN_NODE_SIZES = 4
+#: the exponent fit needs genuinely different sizes: cells are pooled
+#: per distinct row count and the largest/smallest pooled size must
+#: differ by at least this factor, else the slope is timer noise.
+SCALING_FIT_MIN_SPAN = 4.0
+
+#: the markdown scaling table, shared with ``docs/SCALING.md`` — the
+#: docs' worked example is golden-tested against these exact strings.
+SCALING_HEADER = (
+    "| nodes | members | candidates | scored | pruned "
+    "| seconds | cand/s |"
+)
+SCALING_RULE = "|---|---|---|---|---|---|---|"
+#: a representative full-mode cell, used verbatim in the docs.
+SCALING_EXAMPLE_ROW = {
+    "nodes": 512,
+    "members": 4,
+    "candidates": 1160822,
+    "scored": 28599,
+    "pruned": 1132223,
+    "search_seconds": 0.082,
+    "cand_per_s": 1.41e7,
+}
+
+
+def format_scaling_row(row: dict) -> str:
+    """One markdown row of the scaling table (docs-golden format)."""
+    return (
+        f"| {row['nodes']} | {row['members']} | {row['candidates']} "
+        f"| {row['scored']} | {row['pruned']} "
+        f"| {row['search_seconds']:.3f} | {row['cand_per_s']:.2e} |"
+    )
 
 
 def _exhaustive_spec() -> EnsembleSpec:
@@ -235,6 +314,187 @@ def bench_annealing(seed: int = 0) -> tuple:
     return row, report
 
 
+def _scaling_spec(num_members: int) -> EnsembleSpec:
+    return EnsembleSpec(
+        f"bench-scaling-{num_members}",
+        tuple(
+            default_member(f"em{i}", num_analyses=2, n_steps=6)
+            for i in range(num_members)
+        ),
+    )
+
+
+def bench_scaling_cell(
+    num_members: int, num_nodes: int, kernel_cap: int
+) -> dict:
+    """One (members, nodes) cell: raw kernel timing + full B&B search."""
+    spec = _scaling_spec(num_members)
+    cores = component_core_demands(spec)
+    candidates = count_canonical_assignments(
+        cores, num_nodes, CORES_PER_NODE
+    )
+
+    # raw column-kernel throughput over a capped candidate stream;
+    # chunks are materialized first so the timing covers scoring only
+    chunks = []
+    rows = 0
+    for chunk in iter_assignment_chunks(
+        cores, num_nodes, CORES_PER_NODE, chunk_size=16384
+    ):
+        take = min(chunk.shape[0], kernel_cap - rows)
+        chunks.append(chunk[:take])
+        rows += take
+        if rows >= kernel_cap:
+            break
+    scorer = VectorizedScorer(spec, num_nodes)
+    scorer.score_chunk(chunks[0])  # warm the signature-code table
+    # repeat tiny cells so each measurement spans milliseconds
+    repeats = max(1, 20_000 // max(rows, 1))
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        for chunk in chunks:
+            scorer.score_chunk(chunk)
+    kernel_seconds = (time.perf_counter() - t0) / repeats
+
+    t0 = time.perf_counter()
+    result = find_best_placement_vectorized(
+        spec, num_nodes, CORES_PER_NODE
+    )
+    search_seconds = time.perf_counter() - t0
+    assert result.scored + result.pruned == candidates, (
+        f"B&B accounting mismatch: {result.scored}+{result.pruned} "
+        f"!= {candidates}"
+    )
+
+    return {
+        "nodes": num_nodes,
+        "members": num_members,
+        "candidates": candidates,
+        "kernel_rows": rows,
+        "kernel_seconds": kernel_seconds,
+        "kernel_rows_per_s": rows / kernel_seconds,
+        "scored": result.scored,
+        "pruned": result.pruned,
+        "search_seconds": search_seconds,
+        "cand_per_s": (result.scored + result.pruned) / search_seconds,
+        "objective": result.best.objective,
+        "assessed_codes": scorer.assessed_codes,
+    }
+
+
+def fit_growth_exponent(rows: list) -> float | None:
+    """Log-log slope of kernel seconds vs kernel rows across cells.
+
+    Cells are pooled per distinct row count (node-size variations of
+    the same member count score the same stream, so their timings are
+    repeated measurements of one size, not new sizes) and the slope is
+    fit over the pooled geometric means. Returns None when the pooled
+    sizes span less than :data:`SCALING_FIT_MIN_SPAN` — a slope over
+    near-identical sizes would be pure timer noise.
+    """
+    pooled: dict = {}
+    for r in rows:
+        if r["kernel_rows"] > 0 and r["kernel_seconds"] > 0:
+            pooled.setdefault(r["kernel_rows"], []).append(
+                r["kernel_seconds"]
+            )
+    if len(pooled) < 2:
+        return None
+    sizes = sorted(pooled)
+    if sizes[-1] < SCALING_FIT_MIN_SPAN * sizes[0]:
+        return None
+    x = np.log(sizes)
+    y = [np.mean(np.log(pooled[s])) for s in sizes]
+    return float(np.polyfit(x, y, 1)[0])
+
+
+def bench_scaling(quick: bool) -> tuple:
+    """The nodes x members sweep plus its exactness report."""
+    members_axis = SCALING_MEMBERS_QUICK if quick else SCALING_MEMBERS_FULL
+    kernel_cap = (
+        SCALING_KERNEL_CAP_QUICK if quick else SCALING_KERNEL_CAP_FULL
+    )
+    rows = [
+        bench_scaling_cell(m, n, kernel_cap)
+        for m in members_axis
+        for n in SCALING_NODE_SIZES
+    ]
+
+    # correctness cell: the vectorized B&B winner must be the scalar
+    # engine's winner, bit for bit, with the full space accounted for
+    check_spec = _scaling_spec(2)
+    check_nodes = 4
+    vec = find_best_placement_vectorized(
+        check_spec, check_nodes, CORES_PER_NODE
+    )
+    scalar_best, scalar_evaluated = find_best_placement(
+        check_spec, check_nodes, CORES_PER_NODE
+    )
+    report = DivergenceReport(
+        scenario="bench-scaling",
+        checks=(
+            MetricCheck(
+                "ensemble",
+                "candidates",
+                "scalar-vs-vectorized",
+                float(scalar_evaluated),
+                float(vec.scored + vec.pruned),
+                0.0,
+            ),
+            MetricCheck(
+                "ensemble",
+                "same_placement",
+                "scalar-vs-vectorized",
+                1.0,
+                1.0 if vec.best.placement == scalar_best.placement else 0.0,
+                0.0,
+            ),
+            MetricCheck(
+                "ensemble",
+                "objective",
+                "scalar-vs-vectorized",
+                scalar_best.objective,
+                vec.best.objective,
+                0.0,
+            ),
+            MetricCheck(
+                "ensemble",
+                "makespan",
+                "scalar-vs-vectorized",
+                scalar_best.ensemble_makespan,
+                vec.best.ensemble_makespan,
+                0.0,
+            ),
+        ),
+    )
+
+    section = {
+        "node_sizes": list(SCALING_NODE_SIZES),
+        "members_axis": list(members_axis),
+        "kernel_cap": kernel_cap,
+        "floors": {
+            "throughput": (
+                SCALING_THROUGHPUT_FLOOR_QUICK
+                if quick
+                else SCALING_THROUGHPUT_FLOOR_FULL
+            ),
+            "exponent": SCALING_EXPONENT_CEILING,
+            "min_node_sizes": SCALING_MIN_NODE_SIZES,
+        },
+        "rows": rows,
+        "growth_exponent": fit_growth_exponent(rows),
+        "best_cand_per_s": max(r["cand_per_s"] for r in rows),
+    }
+    return section, report
+
+
+def format_scaling_table(rows: list) -> str:
+    """The full markdown table (as uploaded by the CI artifact)."""
+    lines = [SCALING_HEADER, SCALING_RULE]
+    lines.extend(format_scaling_row(r) for r in rows)
+    return "\n".join(lines)
+
+
 def run(quick: bool) -> dict:
     # warm both code paths (imports, numpy, profile construction) so
     # the timings compare steady-state costs, not first-call overheads
@@ -251,6 +511,7 @@ def run(quick: bool) -> dict:
         num_nodes=6 if quick else 7
     )
     annealing, annealing_report = bench_annealing()
+    scaling, scaling_report = bench_scaling(quick)
     return {
         "benchmark": "search",
         "mode": "quick" if quick else "full",
@@ -260,9 +521,11 @@ def run(quick: bool) -> dict:
         },
         "exhaustive": exhaustive,
         "annealing": annealing,
+        "scaling": scaling,
         "correctness": [
             exhaustive_report.to_dict(),
             annealing_report.to_dict(),
+            scaling_report.to_dict(),
         ],
     }
 
@@ -302,6 +565,54 @@ def check_floors(results: dict) -> bool:
         )
         if speedup < floor:
             ok = False
+    return check_scaling_floors(results) and ok
+
+
+def check_scaling_floors(results: dict) -> bool:
+    """Gate the scaling table: throughput, growth exponent, coverage.
+
+    Floors are read from the results file itself (quick and full runs
+    carry different throughput bars), so ``--check`` re-validates any
+    stored table against the bars it was produced under.
+    """
+    scaling = results.get("scaling")
+    if scaling is None:
+        print("scaling: MISSING section")
+        return False
+    ok = True
+    floors = scaling["floors"]
+
+    node_sizes = {r["nodes"] for r in scaling["rows"]}
+    coverage_ok = len(node_sizes) >= floors["min_node_sizes"]
+    print(
+        f"scaling: {len(scaling['rows'])} cells over "
+        f"{len(node_sizes)} node sizes "
+        f"(floor {floors['min_node_sizes']}) "
+        f"{'ok' if coverage_ok else 'BELOW FLOOR'}"
+    )
+    ok = ok and coverage_ok
+
+    best = scaling["best_cand_per_s"]
+    throughput_ok = best >= floors["throughput"]
+    print(
+        f"scaling: best search throughput {best:.2e} cand/s "
+        f"(floor {floors['throughput']:.0e}) "
+        f"{'ok' if throughput_ok else 'BELOW FLOOR'}"
+    )
+    ok = ok and throughput_ok
+
+    exponent = scaling["growth_exponent"]
+    if exponent is None:
+        print("scaling: growth exponent not fittable (too few sizes)")
+        ok = False
+    else:
+        exponent_ok = exponent <= floors["exponent"]
+        print(
+            f"scaling: growth exponent {exponent:.3f} "
+            f"(ceiling {floors['exponent']:g}) "
+            f"{'ok' if exponent_ok else 'ABOVE CEILING'}"
+        )
+        ok = ok and exponent_ok
     return ok
 
 
@@ -356,6 +667,7 @@ def main() -> int:
         f"full {results['annealing']['full_seconds']:.2f}s -> "
         f"incremental {results['annealing']['incremental_seconds']:.2f}s"
     )
+    print(format_scaling_table(results["scaling"]["rows"]))
     if not check_correctness(results):
         return 2
     return 0 if check_floors(results) else 1

@@ -87,6 +87,12 @@ class ExhaustiveSearchPolicy(SchedulingPolicy):
     parallel / processes:
         Opt in to pool-based candidate scoring (serial fallback
         applies; results are identical either way).
+    vectorized:
+        Opt in to the numpy batch kernel with branch-and-bound
+        (:mod:`repro.search.vectorized`). Falls back to the scalar
+        path for tiny instances or unsupported contexts; the winner is
+        re-scored through the scalar cache, so the returned placement
+        and floats are the same either way.
     """
 
     name = "exhaustive"
@@ -96,11 +102,13 @@ class ExhaustiveSearchPolicy(SchedulingPolicy):
         cache: Optional["StageCache"] = None,
         parallel: bool = False,
         processes: Optional[int] = None,
+        vectorized: bool = False,
     ) -> None:
         self.evaluated = 0
         self.cache = cache
         self.parallel = parallel
         self.processes = processes
+        self.vectorized = vectorized
 
     def place(
         self,
@@ -119,6 +127,7 @@ class ExhaustiveSearchPolicy(SchedulingPolicy):
             cache=self.cache,
             parallel=self.parallel,
             processes=self.processes,
+            vectorized=self.vectorized,
         )
         return best.placement
 

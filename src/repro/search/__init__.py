@@ -19,6 +19,11 @@ it supersedes (same placements, same score floats):
   pool and an unconditional serial fallback;
 - :mod:`~repro.search.engine` — :func:`find_best_placement`, the fused
   streaming search used by the exhaustive policy;
+- :mod:`~repro.search.vectorized` — :class:`VectorizedScorer`, numpy
+  column kernels that score whole assignment chunks per dispatch, and
+  :func:`find_best_placement_vectorized`, branch-and-bound over the
+  chunked canonical stream (agreement with the scalar scorer ≤1e-9,
+  winner re-scored on the scalar path);
 - :mod:`~repro.search.reference` — the seed implementations, kept as
   the baseline the benchmarks and property tests diff against.
 
@@ -28,11 +33,13 @@ guarantees.
 
 from repro.search.cache import FlatEvaluation, StageCache
 from repro.search.canonical import (
+    CompletionCounter,
     assignment_to_placement,
     component_core_demands,
     count_canonical_assignments,
     count_raw_assignments,
     enumerate_canonical_placements,
+    iter_assignment_chunks,
     iter_canonical_assignments,
     member_shapes,
 )
@@ -50,7 +57,14 @@ from repro.search.reference import (
 # importable from anywhere in the scheduler stack.
 _LAZY_EXPORTS = {
     "MIN_PARALLEL_BATCH": "repro.search.batch",
+    "MIN_VECTORIZED_CANDIDATES": "repro.search.vectorized",
+    "VectorizedScorer": "repro.search.vectorized",
+    "VectorizedSearchResult": "repro.search.vectorized",
+    "VectorizedUnsupported": "repro.search.vectorized",
+    "argmax_batch": "repro.search.vectorized",
+    "best_score_index": "repro.search.vectorized",
     "find_best_placement": "repro.search.engine",
+    "find_best_placement_vectorized": "repro.search.vectorized",
     "score_placements_batch": "repro.search.batch",
 }
 
@@ -68,10 +82,17 @@ def __getattr__(name: str):
     return value
 
 __all__ = [
+    "CompletionCounter",
     "FlatEvaluation",
     "MIN_PARALLEL_BATCH",
+    "MIN_VECTORIZED_CANDIDATES",
     "StageCache",
+    "VectorizedScorer",
+    "VectorizedSearchResult",
+    "VectorizedUnsupported",
+    "argmax_batch",
     "assignment_to_placement",
+    "best_score_index",
     "canonical_signature",
     "component_core_demands",
     "count_canonical_assignments",
@@ -80,6 +101,8 @@ __all__ = [
     "enumerate_canonical_placements",
     "enumerate_placements_reference",
     "find_best_placement",
+    "find_best_placement_vectorized",
+    "iter_assignment_chunks",
     "iter_canonical_assignments",
     "member_shapes",
     "score_placements_batch",

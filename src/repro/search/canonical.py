@@ -26,11 +26,21 @@ generates exactly one representative per relabeling class *directly*:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.runtime.placement import EnsemblePlacement, MemberPlacement
 from repro.runtime.spec import EnsembleSpec
 from repro.util.validation import require_positive_int
+
+#: Signature of a branch-and-bound prune hook for
+#: :func:`iter_assignment_chunks`: ``(component_index, assignment,
+#: caps) -> skip?``. ``assignment[:component_index]`` holds the live
+#: prefix (later entries are stale), ``caps`` the remaining capacities
+#: of the opened labels. Returning True skips every completion of the
+#: prefix.
+PruneHook = Callable[[int, Sequence[int], Sequence[int]], bool]
 
 
 def component_core_demands(spec: EnsembleSpec) -> List[int]:
@@ -101,6 +111,153 @@ def iter_canonical_assignments(
             caps.pop()
 
     yield from rec(0)
+
+
+def iter_assignment_chunks(
+    component_cores: Sequence[int],
+    num_nodes: int,
+    cores_per_node: int,
+    chunk_size: int = 8192,
+    boundaries: Sequence[int] = (),
+    prune: Optional[PruneHook] = None,
+) -> Iterator[np.ndarray]:
+    """Yield canonical assignments as ``(B, C)`` index arrays.
+
+    Array mode of :func:`iter_canonical_assignments`: concatenating the
+    yielded chunks row by row reproduces the scalar stream exactly —
+    same assignments, same order (property-tested against the seed
+    reference enumerator). Rows are emitted in blocks so a batch kernel
+    can score thousands of candidates per numpy dispatch; the last
+    recursion level is filled column-wise (all feasible labels of the
+    final component at once), which keeps per-candidate Python cost
+    below the cost of building a tuple.
+
+    With ``prune`` given, it is consulted whenever the recursion
+    reaches a component index in ``boundaries`` (conventionally the
+    member start offsets): returning True abandons the subtree rooted
+    at the current prefix before any of its completions exist —
+    branch-and-bound callers count the skipped completions with
+    :class:`CompletionCounter` instead of materializing them.
+    """
+    require_positive_int("num_nodes", num_nodes)
+    require_positive_int("cores_per_node", cores_per_node)
+    require_positive_int("chunk_size", chunk_size)
+    n = len(component_cores)
+    if n == 0:
+        return
+    boundary_set = frozenset(boundaries) if prune is not None else frozenset()
+    assignment = [0] * n
+    caps: List[int] = []
+    buf = np.empty((chunk_size, n), dtype=np.int64)
+    fill = 0
+
+    def rec(i: int) -> Iterator[np.ndarray]:
+        nonlocal fill
+        if prune is not None and i in boundary_set and prune(
+            i, assignment, caps
+        ):
+            return
+        cores = component_cores[i]
+        if i == n - 1:
+            labels = [
+                label for label in range(len(caps)) if caps[label] >= cores
+            ]
+            if len(caps) < num_nodes and cores_per_node >= cores:
+                labels.append(len(caps))
+            done = 0
+            while done < len(labels):
+                take = min(chunk_size - fill, len(labels) - done)
+                block = buf[fill : fill + take]
+                if n > 1:
+                    block[:, : n - 1] = assignment[: n - 1]
+                block[:, n - 1] = labels[done : done + take]
+                fill += take
+                done += take
+                if fill == chunk_size:
+                    yield buf.copy()
+                    fill = 0
+            return
+        for label in range(len(caps)):
+            if caps[label] >= cores:
+                caps[label] -= cores
+                assignment[i] = label
+                yield from rec(i + 1)
+                caps[label] += cores
+        if len(caps) < num_nodes and cores_per_node >= cores:
+            caps.append(cores_per_node - cores)
+            assignment[i] = len(caps) - 1
+            yield from rec(i + 1)
+            caps.pop()
+
+    yield from rec(0)
+    if fill:
+        yield buf[:fill].copy()
+
+
+class CompletionCounter:
+    """Closed-form completion counts of partial canonical assignments.
+
+    Generalizes :func:`count_canonical_assignments` to arbitrary
+    partial states: :meth:`count` sizes the subtree rooted at
+    (component index, opened-label capacities) without materializing a
+    single assignment, sharing one capacity-multiset memo across every
+    query of a search. Branch-and-bound uses it to tally exactly how
+    many candidates each pruned subtree contained, so
+    ``scored + pruned`` always equals the full canonical count.
+    """
+
+    def __init__(
+        self,
+        component_cores: Sequence[int],
+        num_nodes: int,
+        cores_per_node: int,
+    ) -> None:
+        require_positive_int("num_nodes", num_nodes)
+        require_positive_int("cores_per_node", cores_per_node)
+        self._cores = list(component_cores)
+        self._num_nodes = num_nodes
+        self._cores_per_node = cores_per_node
+        self._memo: Dict[Tuple[int, Tuple[int, ...], int], int] = {}
+
+    def count(self, index: int, caps: Sequence[int]) -> int:
+        """Completions of a prefix ending at ``index`` with ``caps`` open."""
+        if not 0 <= index <= len(self._cores):
+            raise ValueError(
+                f"component index {index} out of range 0..{len(self._cores)}"
+            )
+        return self._rec(
+            index, tuple(sorted(caps)), self._num_nodes - len(caps)
+        )
+
+    def total(self) -> int:
+        """The full canonical count (empty prefix)."""
+        if not self._cores:
+            return 0
+        return self.count(0, ())
+
+    def _rec(self, i: int, caps: Tuple[int, ...], unopened: int) -> int:
+        if i == len(self._cores):
+            return 1
+        key = (i, caps, unopened)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        c = self._cores[i]
+        total = 0
+        mult: Dict[int, int] = {}
+        for r in caps:
+            mult[r] = mult.get(r, 0) + 1
+        for r, m in mult.items():
+            if r >= c:
+                nxt = list(caps)
+                nxt.remove(r)
+                nxt.append(r - c)
+                total += m * self._rec(i + 1, tuple(sorted(nxt)), unopened)
+        if unopened > 0 and self._cores_per_node >= c:
+            nxt_caps = tuple(sorted(caps + (self._cores_per_node - c,)))
+            total += self._rec(i + 1, nxt_caps, unopened - 1)
+        self._memo[key] = total
+        return total
 
 
 def count_canonical_assignments(

@@ -49,6 +49,8 @@ def find_best_placement(
     cache: Optional[StageCache] = None,
     parallel: bool = False,
     processes: Optional[int] = None,
+    vectorized: bool = False,
+    chunk_size: int = 8192,
 ) -> Tuple[PlacementScore, int]:
     """Exhaustively search the canonical space; return (best, evaluated).
 
@@ -69,6 +71,16 @@ def find_best_placement(
     parallel / processes:
         Route scoring through :func:`~repro.search.batch
         .score_placements_batch`'s pool (serial fallback applies).
+    vectorized / chunk_size:
+        Opt in to the batch column kernel with branch-and-bound
+        (:func:`~repro.search.vectorized
+        .find_best_placement_vectorized`). Applies only when the
+        context is vectorizable, no robustness term is present, and the
+        canonical space is large enough to amortize chunk setup
+        (``MIN_VECTORIZED_CANDIDATES``); otherwise the scalar path runs
+        unchanged. The returned score is re-derived through the scalar
+        cache either way, and ``evaluated`` counts the whole canonical
+        space (scored + pruned), so callers observe identical results.
 
     Raises
     ------
@@ -79,6 +91,34 @@ def find_best_placement(
     require_positive_int("cores_per_node", cores_per_node)
     if cache is None or not cache.matches(cluster, dtl):
         cache = StageCache(cluster, dtl)
+
+    component_cores = component_core_demands(spec)
+    if vectorized and robustness is None and not parallel:
+        from repro.search.canonical import count_canonical_assignments
+        from repro.search.vectorized import (
+            MIN_VECTORIZED_CANDIDATES,
+            VectorizedUnsupported,
+            find_best_placement_vectorized,
+        )
+
+        total = count_canonical_assignments(
+            component_cores, num_nodes, cores_per_node
+        )
+        if total >= MIN_VECTORIZED_CANDIDATES:
+            try:
+                result = find_best_placement_vectorized(
+                    spec,
+                    num_nodes,
+                    cores_per_node,
+                    cluster=cluster,
+                    dtl=dtl,
+                    cache=cache,
+                    chunk_size=chunk_size,
+                )
+            except VectorizedUnsupported:
+                pass
+            else:
+                return result.best, result.candidates
 
     if parallel:
         candidates = list(
@@ -94,18 +134,20 @@ def find_best_placement(
             parallel=True,
             processes=processes,
         )
-        best: Optional[PlacementScore] = None
-        for score in scores:
-            if best is None or score > best:
-                best = score
-        if best is None:
+        if not scores:
             raise PlacementError(
                 f"no feasible placement over {num_nodes} nodes of "
                 f"{cores_per_node} cores"
             )
+        # numpy argmax over the batch must reproduce the serial loop's
+        # strict-> tie-breaking (utility, fewest nodes, lowest
+        # makespan, first occurrence) — best_score_index does exactly
+        # that, regression-tested on tie-heavy grids
+        from repro.search.vectorized import best_score_index
+
+        best: Optional[PlacementScore] = scores[best_score_index(scores)]
         return best, len(scores)
 
-    component_cores = component_core_demands(spec)
     evaluated = 0
     best = None
     best_key: Optional[Tuple[float, float]] = None

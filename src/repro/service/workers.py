@@ -90,12 +90,18 @@ def execute_request(
     """
     robustness = _robustness_term(request)
     if request.kind == "search":
+        # vectorized=True routes large canonical spaces through the
+        # batch kernel with branch-and-bound; the winner is re-scored
+        # on the scalar path, so the payload (score floats, evaluated
+        # count) is identical to the scalar engine's — small instances
+        # and robust searches stay on the scalar path automatically
         best, evaluated = find_best_placement(
             request.spec,
             request.num_nodes,
             request.cores_per_node,
             robustness=robustness,
             cache=stage_cache,
+            vectorized=True,
         )
         return {"score": score_to_dict(best), "evaluated": evaluated}
     if request.kind == "score":

@@ -16,7 +16,9 @@ structured agreement in three tiers:
   surrogate's failure-free baseline, and — when a service URL is
   given — a score obtained through the placement service's HTTP API
   (:mod:`repro.service`), proving the JSON wire format is lossless.
-  Tolerance is literally 0.0.
+  Tolerance is literally 0.0. The numpy batch kernel
+  (:mod:`repro.search.vectorized`) joins as a 1e-9 tier — its only
+  deviations from the scalar scorer are a few reassociated sums.
 - **Tier 1 (tolerance-banded)** — the DES executor adds protocol
   dynamics; its noise-free steady-state estimates must match the
   analytic prediction within per-metric relative tolerances
@@ -68,6 +70,10 @@ from repro.util.errors import ValidationError
 DEFAULT_TOLERANCES: Dict[str, float] = {
     # tier 0: memoized/cached paths vs their reference implementations
     "cache": 0.0,
+    # tier 0.5: the numpy batch kernel vs the scalar scorer — a few
+    # ulps of reassociation (n*overhead vs a repeated sum, segment
+    # reductions), nowhere near the DES band
+    "vectorized": 1e-9,
     # tier 1: analytic steady state vs noise-free DES estimates
     "stage": 1e-6,
     "makespan": 1e-6,
@@ -407,6 +413,57 @@ def run_differential_oracle(
                 spec, placement, reference_score, service_url, tol["cache"]
             )
         )
+
+    # -- tier 0.5: the vectorized batch kernel vs the scalar scorer --------
+    # the column kernels reassociate a handful of sums, so the band is
+    # 1e-9 rather than exact; contexts the kernels do not model
+    # (non-default network/DTL) skip the tier and keep their scalar
+    # coverage
+    from repro.search.vectorized import VectorizedScorer, VectorizedUnsupported
+
+    try:
+        scorer = VectorizedScorer(
+            spec, placement.num_nodes, cluster=cluster, dtl=dtl
+        )
+    except VectorizedUnsupported:
+        scorer = None
+    if scorer is not None:
+        batch = scorer.score_assignments([StageCache._flatten(placement)])
+        checks.append(
+            MetricCheck(
+                scope="ensemble",
+                metric="objective",
+                paths="score-vs-vectorized",
+                reference=reference_score.objective,
+                candidate=float(batch.objectives[0]),
+                tolerance=tol["vectorized"],
+            )
+        )
+        checks.append(
+            MetricCheck(
+                scope="ensemble",
+                metric="makespan",
+                paths="score-vs-vectorized",
+                reference=reference_score.ensemble_makespan,
+                candidate=float(batch.makespans[0]),
+                tolerance=tol["vectorized"],
+            )
+        )
+        for member, ref_i, cand_i in zip(
+            spec.members,
+            reference_score.member_indicators,
+            batch.indicators[0],
+        ):
+            checks.append(
+                MetricCheck(
+                    scope=member.name,
+                    metric="indicator",
+                    paths="score-vs-vectorized",
+                    reference=ref_i,
+                    candidate=float(cand_i),
+                    tolerance=tol["vectorized"],
+                )
+            )
 
     # -- tier 1: noise-free DES vs the analytic steady state ---------------
     result = run_ensemble(

@@ -22,6 +22,33 @@ def test_internal_doc_links_resolve(capsys):
     )
 
 
+def test_scaling_docs_match_bench_script():
+    # the worked example in docs/SCALING.md is golden: the table
+    # header and the example row must be the exact strings
+    # scripts/bench_search.py prints, so the docs cannot drift from
+    # the tool
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    try:
+        from bench_search import (
+            SCALING_EXAMPLE_ROW,
+            SCALING_HEADER,
+            SCALING_RULE,
+            format_scaling_row,
+        )
+    finally:
+        sys.path.pop(0)
+    text = (REPO_ROOT / "docs" / "SCALING.md").read_text()
+    assert SCALING_HEADER in text, "SCALING.md lost the golden header"
+    assert SCALING_RULE in text, "SCALING.md lost the table rule"
+    example = format_scaling_row(SCALING_EXAMPLE_ROW)
+    assert example in text, (
+        f"SCALING.md worked example drifted; expected line: {example}"
+    )
+    # PERFORMANCE.md's shipped table shares the same header format
+    perf = (REPO_ROOT / "docs" / "PERFORMANCE.md").read_text()
+    assert SCALING_HEADER in perf, "PERFORMANCE.md lost the scaling table"
+
+
 def test_fault_models_reference_exists():
     doc = REPO_ROOT / "docs" / "FAULT_MODELS.md"
     text = doc.read_text()
