@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the placement service: throughput, caching, latency.
 
-Three measurements, each with a built-in exactness check:
+Four measurements, each with a built-in exactness check:
 
 - **throughput**: a batch of distinct search jobs driven through the
   in-process :class:`~repro.service.workers.PlacementService` worker
@@ -13,6 +13,10 @@ Three measurements, each with a built-in exactness check:
   the :class:`~repro.service.cache.ResultCache` (``cached=True``) and
   the second pass must be at least the floor times faster than the
   first.
+- **rank-des**: one DES-method rank job (batched delta-replay engine)
+  through the pool; the payload must equal the direct execution
+  exactly and the ``/stats`` engine counters must account for every
+  baseline sim and replayed replica.
 - **http**: submit+wait round trips over the real HTTP API
   (:class:`~repro.service.api.PlacementServer` on an ephemeral port);
   p50/p99 latency recorded, and the served score must deserialize to
@@ -177,6 +181,79 @@ def bench_throughput(num_jobs: int) -> tuple:
     return row, report
 
 
+def bench_rank_des(trials: int) -> tuple:
+    """One DES-rank job through the pool, with its engine counters.
+
+    The request routes through the batched delta-replay engine
+    (``rank_method="des"``); the pooled payload must equal a direct
+    :func:`~repro.service.workers.execute_request` pass exactly, and
+    the service's ``/stats`` counters must account for every baseline
+    sim and replayed replica.
+    """
+    from repro.configs.generator import enumerate_placements
+    from repro.faults.batched import reset_engine_counters
+
+    spec = _bench_spec()
+    pool = list(enumerate_placements(spec, 2, 32))
+    candidates = {f"c{i}": p for i, p in enumerate(pool[:3])}
+    request = PlacementRequest(
+        kind="rank",
+        spec=spec,
+        num_nodes=2,
+        candidates=candidates,
+        robust_rate=0.08,
+        rank_method="des",
+        trials=trials,
+    )
+    direct = execute_request(request)
+
+    reset_engine_counters()
+    service = PlacementService(workers=WORKERS)
+    with service:
+        t0 = time.perf_counter()
+        job = service.wait(service.submit(request).id, timeout=120.0)
+        seconds = time.perf_counter() - t0
+        counters = service.stats()["batched"]
+
+    report = DivergenceReport(
+        scenario="bench-service-rank-des",
+        checks=(
+            MetricCheck(
+                "service",
+                "rank_matches_direct",
+                "serial-vs-pool",
+                1.0,
+                1.0 if job.result == direct else 0.0,
+                0.0,
+            ),
+            MetricCheck(
+                "service",
+                "baseline_sims",
+                "stats-vs-request",
+                float(len(candidates)),
+                float(counters["baseline_sims"]),
+                0.0,
+            ),
+            MetricCheck(
+                "service",
+                "replicas_replayed",
+                "stats-vs-request",
+                float(len(candidates) * trials),
+                float(counters["replicas_replayed"]),
+                0.0,
+            ),
+        ),
+    )
+
+    row = {
+        "candidates": len(candidates),
+        "trials": trials,
+        "seconds": seconds,
+        "counters": counters,
+    }
+    return row, report
+
+
 def bench_http(num_requests: int) -> tuple:
     """Submit+wait round trips over real sockets; p50/p99 latency."""
     spec = _bench_spec()
@@ -244,6 +321,7 @@ def run(smoke: bool) -> dict:
     throughput, pool_report = bench_throughput(
         num_jobs=40 if smoke else 200
     )
+    rank_des, rank_report = bench_rank_des(trials=4 if smoke else 8)
     http, http_report = bench_http(num_requests=20 if smoke else 100)
     return {
         "benchmark": "service",
@@ -253,9 +331,11 @@ def run(smoke: bool) -> dict:
             "cached_speedup": CACHED_SPEEDUP_FLOOR,
         },
         "throughput": throughput,
+        "rank_des": rank_des,
         "http": http,
         "correctness": [
             pool_report.to_dict(),
+            rank_report.to_dict(),
             http_report.to_dict(),
         ],
     }
@@ -342,6 +422,13 @@ def main() -> int:
         f"{results['throughput']['workers']} workers in "
         f"{results['throughput']['pool_seconds']:.2f}s; resubmission "
         f"{results['throughput']['cached_seconds']:.3f}s"
+    )
+    rank = results["rank_des"]
+    print(
+        f"rank-des: {rank['candidates']} candidates x {rank['trials']} "
+        f"replicas in {rank['seconds']:.2f}s "
+        f"({rank['counters']['baseline_sims']} baseline sims, "
+        f"{rank['counters']['replicas_replayed']} replicas replayed)"
     )
     print(
         f"http: p50 {results['http']['p50_ms']:.1f}ms, "

@@ -68,6 +68,22 @@ from repro.faults.recovery import (
     make_policy,
 )
 
+# imported last: repro.faults.batched pulls in the executor, which
+# imports the injector/models/recovery submodules loaded above.
+from repro.faults.batched import (
+    MemberTimeline,
+    ReplayOutcome,
+    StageTimeline,
+    batched_score_placement,
+    capture_timeline,
+    engine_counters,
+    rank_placements_batched,
+    replay_schedules,
+    replay_tier,
+    reset_engine_counters,
+    score_from_timeline,
+)
+
 __all__ = [
     "AdaptiveRecoveryPolicy",
     "AnalysisDropped",
@@ -86,18 +102,29 @@ __all__ = [
     "FaultSchedule",
     "HazardProfile",
     "MarkovModulatedArrivals",
+    "MemberTimeline",
     "NoFailureModel",
     "NodeFailureModel",
     "POLICY_NAMES",
     "RandomFailureModel",
     "RecoveryAction",
     "RecoveryPolicy",
+    "ReplayOutcome",
     "RetryBackoffPolicy",
     "RobustnessTerm",
     "ScheduledFailureModel",
     "StageContext",
+    "StageTimeline",
     "SurrogateReport",
     "WeibullBurstArrivals",
+    "batched_score_placement",
+    "capture_timeline",
+    "engine_counters",
     "make_policy",
+    "rank_placements_batched",
+    "replay_schedules",
+    "replay_tier",
+    "reset_engine_counters",
+    "score_from_timeline",
     "surrogate_resilience",
 ]

@@ -59,6 +59,37 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.verify.invariants import InvariantChecker, InvariantReport
 
 
+class TimelineRecorder:
+    """Captures every stage instance's nominal inputs at the choke point.
+
+    The batched fault-replication engine (:mod:`repro.faults.batched`)
+    replays fault perturbations against a fault-free baseline run. For
+    that replay to be bit-exact it needs the *nominal* (already
+    noise-jittered) duration handed to each ``_stage`` call — not the
+    traced ``end - start`` span, which for injected runs includes fault
+    costs. The recorder observes ``(member, component, stage, step,
+    duration, step_time)`` tuples as the run schedules them; it never
+    reads or advances the clock, so a recorded run's trace is
+    byte-identical to an unrecorded one.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[tuple] = []
+
+    def observe(
+        self,
+        member: str,
+        component: str,
+        stage: str,
+        step: int,
+        duration: float,
+        step_time: float,
+    ) -> None:
+        self.records.append(
+            (member, component, stage, step, duration, step_time)
+        )
+
+
 class EnsembleExecutor:
     """Runs one workflow ensemble configuration end to end.
 
@@ -128,6 +159,7 @@ class EnsembleExecutor:
         failure_model: Optional[FailureModel] = None,
         recovery: Optional[RecoveryPolicy] = None,
         verify: bool = False,
+        timeline_recorder: Optional[TimelineRecorder] = None,
     ) -> None:
         require_non_negative("timing_noise", timing_noise)
         self.spec = spec
@@ -145,6 +177,7 @@ class EnsembleExecutor:
         self.failure_model = failure_model
         self.recovery = recovery
         self.verify = verify
+        self.timeline_recorder = timeline_recorder
         self.fault_log: Optional[FaultLog] = None
         self.invariant_report: Optional[InvariantReport] = None
 
@@ -186,7 +219,8 @@ class EnsembleExecutor:
         member_procs = []
         for member in effective:
             procs = self._launch_member(
-                env, member, tracer, root_rng, nics, injector, checker
+                env, member, tracer, root_rng, nics, injector, checker,
+                self.timeline_recorder,
             )
             member_procs.extend(procs)
         env.run()
@@ -225,6 +259,7 @@ class EnsembleExecutor:
         nics=None,
         injector: Optional[FaultInjector] = None,
         checker: Optional[InvariantChecker] = None,
+        recorder: Optional[TimelineRecorder] = None,
     ):
         n = member.n_steps
         written: List[Event] = [env.event() for _ in range(n)]
@@ -241,7 +276,7 @@ class EnsembleExecutor:
             env.process(
                 _simulation_process(
                     env, member, tracer, sim_rng, noise, written, all_read,
-                    dtl, injector, dropped, checker,
+                    dtl, injector, dropped, checker, recorder,
                 )
             )
         ]
@@ -263,6 +298,7 @@ class EnsembleExecutor:
                         injector,
                         dropped,
                         checker,
+                        recorder,
                     )
                 )
             )
@@ -281,6 +317,7 @@ def _stage(
     producer: Optional[str] = None,
     body=None,
     checker: Optional[InvariantChecker] = None,
+    recorder: Optional[TimelineRecorder] = None,
 ) -> Generator:
     """Run one timed stage, routing through the fault injector if any.
 
@@ -292,6 +329,10 @@ def _stage(
     this site) the emitted event sequence is exactly the baseline's;
     the checker only reads ``env.now`` and never schedules events.
     """
+    if recorder is not None:
+        recorder.observe(
+            member_name, component, stage, step, duration, step_time
+        )
     start = env.now if checker is not None else 0.0
     if injector is None:
         if body is None:
@@ -327,6 +368,7 @@ def _simulation_process(
     injector: Optional[FaultInjector] = None,
     dropped: Optional[Set[str]] = None,
     checker: Optional[InvariantChecker] = None,
+    recorder: Optional[TimelineRecorder] = None,
 ):
     """S -> I^S -> W per step, enforcing W_{i+1} after all R_i."""
     sim = member.simulation
@@ -336,7 +378,7 @@ def _simulation_process(
         yield from _stage(
             env, injector, member.name, sim.name, "S", step,
             rng.uniform_jitter(sim.compute_time, noise), step_time,
-            checker=checker,
+            checker=checker, recorder=recorder,
         )
         t1 = env.now
         tracer.record(sim.name, Stage.SIM_COMPUTE, step, t0, t1)
@@ -349,7 +391,7 @@ def _simulation_process(
         yield from _stage(
             env, injector, member.name, sim.name, "W", step,
             rng.uniform_jitter(sim.io_time, noise), step_time,
-            checker=checker,
+            checker=checker, recorder=recorder,
         )
         t3 = env.now
         tracer.record(sim.name, Stage.SIM_WRITE, step, t2, t3)
@@ -386,6 +428,7 @@ def _analysis_process(
     injector: Optional[FaultInjector] = None,
     dropped: Optional[Set[str]] = None,
     checker: Optional[InvariantChecker] = None,
+    recorder: Optional[TimelineRecorder] = None,
 ):
     """R -> A -> I^A per step; R_i gated on W_i."""
     ana = member.analyses[index]
@@ -430,7 +473,7 @@ def _analysis_process(
                 yield from _stage(
                     env, injector, member.name, ana.name, "R", step,
                     read_duration, step_time, producer=sim_name, body=body,
-                    checker=checker,
+                    checker=checker, recorder=recorder,
                 )
             except AnalysisDropped:
                 tracer.record(ana.name, Stage.ANA_READ, step, t1, env.now)
@@ -453,7 +496,7 @@ def _analysis_process(
                 yield from _stage(
                     env, injector, member.name, ana.name, "A", step,
                     rng.uniform_jitter(ana.compute_time, noise), step_time,
-                    checker=checker,
+                    checker=checker, recorder=recorder,
                 )
             except AnalysisDropped:
                 tracer.record(ana.name, Stage.ANA_COMPUTE, step, t2, env.now)

@@ -261,15 +261,18 @@ class PlacementRequest:
       count;
     - ``"score"`` — score the given ``placement`` via
       :func:`~repro.scheduler.objectives.score_placement`;
-    - ``"rank"`` — robust-rank the named ``candidates`` with the
-      analytic surrogate (:func:`~repro.scheduler.robust
-      .rank_placements_robust`, ``method="surrogate"``).
+    - ``"rank"`` — robust-rank the named ``candidates``. With the
+      default ``rank_method="surrogate"`` each candidate is priced in
+      closed form (:func:`~repro.scheduler.robust
+      .rank_placements_robust`, ``method="surrogate"``);
+      ``rank_method="des"`` averages ``trials`` injected DES replicas
+      per candidate through the batched delta-replay engine instead.
 
     A positive ``robust_rate`` prices failures into search/score
     requests through a node-crash
     :class:`~repro.faults.analytic.RobustnessTerm` (weight
     ``robust_weight``, recovery ``policy``); rank requests always use
-    ``robust_rate`` as the crash/straggler rate of the surrogate's
+    ``robust_rate`` as the crash/straggler rate of the ranking's
     failure model.
     """
 
@@ -283,6 +286,8 @@ class PlacementRequest:
     robust_weight: float = 1.0
     policy: str = "retry"
     base_seed: int = 0
+    rank_method: str = "surrogate"
+    trials: int = 3
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
@@ -307,6 +312,12 @@ class PlacementRequest:
                 f"unknown recovery policy {self.policy!r}; "
                 f"valid: {list(POLICY_NAMES)}"
             )
+        if self.rank_method not in ("surrogate", "des"):
+            raise ValidationError(
+                f"unknown rank_method {self.rank_method!r}; "
+                f"valid: ['surrogate', 'des']"
+            )
+        require_positive_int("trials", self.trials)
 
 
 def request_to_dict(request: PlacementRequest) -> dict:
@@ -329,6 +340,12 @@ def request_to_dict(request: PlacementRequest) -> dict:
             name: placement_to_dict(p)
             for name, p in request.candidates.items()
         }
+    # serialized only when non-default so every digest computed before
+    # these fields existed still addresses the same request
+    if request.rank_method != "surrogate":
+        payload["rank_method"] = request.rank_method
+    if request.trials != 3:
+        payload["trials"] = request.trials
     return payload
 
 
@@ -359,6 +376,8 @@ def request_from_dict(payload: dict) -> PlacementRequest:
         robust_weight=payload.get("robust_weight", 1.0),
         policy=payload.get("policy", "retry"),
         base_seed=payload.get("base_seed", 0),
+        rank_method=payload.get("rank_method", "surrogate"),
+        trials=payload.get("trials", 3),
     )
 
 

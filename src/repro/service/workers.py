@@ -113,15 +113,30 @@ def execute_request(
         )
         return {"score": score_to_dict(score)}
     if request.kind == "rank":
-        ranking = rank_placements_robust(
-            request.spec,
-            request.candidates,
-            crash_straggler_factory(request.robust_rate),
-            make_policy(request.policy),
-            base_seed=request.base_seed,
-            method="surrogate",
-            cache=stage_cache,
-        )
+        if request.rank_method == "des":
+            # full injected trials, replayed by the batched engine:
+            # one fault-free DES per candidate + delta replay of the
+            # fault schedules (common random numbers pair candidates)
+            ranking = rank_placements_robust(
+                request.spec,
+                request.candidates,
+                crash_straggler_factory(request.robust_rate),
+                make_policy(request.policy),
+                trials=request.trials,
+                base_seed=request.base_seed,
+                method="des",
+                engine="batched",
+            )
+        else:
+            ranking = rank_placements_robust(
+                request.spec,
+                request.candidates,
+                crash_straggler_factory(request.robust_rate),
+                make_policy(request.policy),
+                base_seed=request.base_seed,
+                method="surrogate",
+                cache=stage_cache,
+            )
         return {"ranking": [robust_score_to_dict(s) for s in ranking]}
     raise ValidationError(f"unknown request kind {request.kind!r}")
 
@@ -321,7 +336,9 @@ class PlacementService:
         return totals
 
     def stats(self) -> dict:
-        """The ``GET /stats`` payload: queue, caches, pool."""
+        """The ``GET /stats`` payload: queue, caches, pool, engine."""
+        from repro.faults.batched import engine_counters
+
         return {
             "queue": self.queue.stats(),
             "result_cache": self.result_cache.stats(),
@@ -329,4 +346,5 @@ class PlacementService:
             "workers": self.num_workers,
             "job_timeout": self.job_timeout,
             "max_retries": self.max_retries,
+            "batched": engine_counters(),
         }

@@ -10,6 +10,7 @@ new consumer never perturbs the draws seen by existing ones.
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional
 
 import numpy as np
@@ -72,6 +73,47 @@ class RandomSource:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RandomSource(name={self.name!r}, seed={self.seed!r})"
+
+
+def derive_replica_seed(base_seed: int, replica: int, label: str = "") -> int:
+    """The seed of one fault replica, shared by every scoring path.
+
+    Robust scoring draws ``trials`` independent fault schedules per
+    candidate; this helper is the single place their seeds come from,
+    so the serial, pooled, and batched replication engines derive
+    identical per-replica seeds by construction (asserted by the
+    batched-vs-serial parity tests).
+
+    With an empty ``label`` (the default) the seed is literally
+    ``base_seed + replica`` — the scheme the serial DES path has always
+    used, and also the common-random-numbers scheme: every candidate
+    ranked under the same ``base_seed`` sees the *same* fault draws at
+    replica ``i``, pairing the comparisons. Passing a per-candidate
+    ``label`` (e.g. the candidate name) de-pairs them: the label is
+    hashed (stable across processes and Python runs, unlike ``hash``)
+    into a deterministic offset so each candidate gets an independent
+    replica stream.
+
+    Parameters
+    ----------
+    base_seed:
+        Root seed of the trial set (>= 0).
+    replica:
+        Replica index within the trial set (>= 0).
+    label:
+        Optional stream label; empty pairs replicas across candidates
+        (common random numbers), non-empty decorrelates them.
+    """
+    for field, value in (("base_seed", base_seed), ("replica", replica)):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValidationError(f"{field} must be an int, got {value!r}")
+        if value < 0:
+            raise ValidationError(f"{field} must be >= 0, got {value}")
+    if not label:
+        return base_seed + replica
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
+    offset = int.from_bytes(digest, "big") % (2**31)
+    return base_seed + replica + offset
 
 
 def spawn_rngs(seed: Optional[int], names: List[str]) -> dict:

@@ -81,6 +81,12 @@ DEFAULT_TOLERANCES: Dict[str, float] = {
     "objective": 1e-5,
     # tier 2: first-order fault surrogate vs DES trial mean
     "surrogate": 0.15,
+    # tier 0: the batched delta-replay engine vs serial DES trials —
+    # exact for replayable recovery policies (retry, restart, drop)...
+    "batched": 0.0,
+    # ...and banded for the adaptive policy, whose budget drains in
+    # global event order the per-member replay can only approximate
+    "batched_adaptive": 0.05,
 }
 
 
@@ -287,6 +293,8 @@ def run_differential_oracle(
     fault_trials: int = 3,
     scenario: str = "adhoc",
     service_url: Optional[str] = None,
+    fault_factory: Optional[Callable[[int], FailureModel]] = None,
+    batched_score_fn: Optional[Callable] = None,
 ) -> DivergenceReport:
     """Run one scenario through every evaluation path; report agreement.
 
@@ -323,6 +331,20 @@ def run_differential_oracle(
         result must match the direct scorer *exactly* (tier 0) —
         objective, makespan, and every member indicator — proving the
         wire format is lossless.
+    fault_factory:
+        ``seed -> FailureModel``. When given, the batched delta-replay
+        engine (:func:`~repro.faults.batched.batched_score_placement`)
+        is compared against serial DES replication
+        (:func:`~repro.scheduler.robust.robust_score_placement`) on
+        the robust objective, ideal objective, mean inflation, and
+        mean goodput. The tolerance is picked by
+        :func:`~repro.faults.batched.replay_tier`: exact (0.0) for
+        replayable recovery policies, banded for the adaptive policy.
+    batched_score_fn:
+        Batched scorer under test; defaults to
+        :func:`~repro.faults.batched.batched_score_placement`. Same
+        mutation hook as ``predictor`` — the tests substitute a scorer
+        replaying a perturbed timeline and the oracle must fail.
 
     Returns
     -------
@@ -589,6 +611,59 @@ def run_differential_oracle(
             )
         )
 
+    # -- tier 0/2: batched delta replay vs serial DES replication ----------
+    if fault_factory is not None:
+        from repro.faults.batched import batched_score_placement, replay_tier
+        from repro.scheduler.robust import robust_score_placement
+
+        policy = recovery or RetryBackoffPolicy()
+        batched_score = batched_score_fn or batched_score_placement
+        serial = robust_score_placement(
+            spec,
+            placement,
+            fault_factory,
+            policy,
+            trials=fault_trials,
+            base_seed=seed,
+            cluster=cluster,
+            dtl=dtl,
+        )
+        batched = batched_score(
+            spec,
+            placement,
+            fault_factory,
+            policy,
+            trials=fault_trials,
+            base_seed=seed,
+            cluster=cluster,
+            dtl=dtl,
+        )
+        band = (
+            tol["batched"]
+            if replay_tier(policy) == "exact"
+            else tol["batched_adaptive"]
+        )
+        for metric, ref, cand in (
+            ("objective", serial.objective, batched.objective),
+            (
+                "ideal_objective",
+                serial.ideal_objective,
+                batched.ideal_objective,
+            ),
+            ("mean_inflation", serial.mean_inflation, batched.mean_inflation),
+            ("mean_goodput", serial.mean_goodput, batched.mean_goodput),
+        ):
+            checks.append(
+                MetricCheck(
+                    scope="ensemble",
+                    metric=metric,
+                    paths="serial-vs-batched",
+                    reference=ref,
+                    candidate=cand,
+                    tolerance=band,
+                )
+            )
+
     return DivergenceReport(scenario=scenario, checks=tuple(checks))
 
 
@@ -605,7 +680,8 @@ def verify_scenarios(
     raise :class:`~repro.util.errors.ValidationError`. With
     ``include_faults`` each scenario additionally runs the Tier-2
     surrogate-vs-DES comparison under a seeded random crash/straggler
-    model. With ``include_service`` an in-process placement service is
+    model *and* the serial-vs-batched replication comparison (exact
+    tier). With ``include_service`` an in-process placement service is
     booted on an ephemeral port and every scenario is also scored
     through its HTTP API, which must agree with the direct scorer
     exactly (tier 0).
@@ -636,6 +712,11 @@ def verify_scenarios(
                 if include_faults
                 else None
             )
+            factory = (
+                (lambda s: RandomFailureModel(rate=0.08, seed=s))
+                if include_faults
+                else None
+            )
             reports.append(
                 run_differential_oracle(
                     spec,
@@ -644,6 +725,7 @@ def verify_scenarios(
                     failure_model=model,
                     scenario=name,
                     service_url=server.url if server is not None else None,
+                    fault_factory=factory,
                 )
             )
         return reports

@@ -237,3 +237,62 @@ class TestCanonicalDigest:
         a = canonical_json({"b": 1, "a": {"y": 2.5, "x": [1, 2]}})
         b = canonical_json({"a": {"x": [1, 2], "y": 2.5}, "b": 1})
         assert a == b
+
+
+class TestDesRankFields:
+    """The rank_method/trials fields added for batched DES ranking."""
+
+    def _spec(self):
+        return EnsembleSpec(
+            "des", (default_member("em1", num_analyses=1, n_steps=3),)
+        )
+
+    def _rank_request(self, **overrides):
+        from repro.configs.generator import enumerate_placements
+
+        spec = self._spec()
+        placement = next(iter(enumerate_placements(spec, 2, 32)))
+        fields = dict(
+            kind="rank",
+            spec=spec,
+            num_nodes=2,
+            candidates={"c0": placement},
+        )
+        fields.update(overrides)
+        return PlacementRequest(**fields)
+
+    def test_unknown_rank_method_rejected(self):
+        with pytest.raises(ValidationError, match="rank_method"):
+            self._rank_request(rank_method="oracle")
+
+    def test_non_positive_trials_rejected(self):
+        with pytest.raises(ValidationError, match="trials"):
+            self._rank_request(trials=0)
+
+    def test_default_values_stay_off_the_wire(self):
+        """Requests predating the fields must keep their digests: the
+        defaults are never serialized, so the canonical payload (and
+        therefore the cache key) is byte-identical to the old format."""
+        payload = request_to_dict(self._rank_request())
+        assert "rank_method" not in payload
+        assert "trials" not in payload
+
+    def test_non_default_values_round_trip(self):
+        request = self._rank_request(rank_method="des", trials=7)
+        payload = _json_round_trip(request_to_dict(request))
+        assert payload["rank_method"] == "des"
+        assert payload["trials"] == 7
+        rebuilt = request_from_dict(payload)
+        assert rebuilt.rank_method == "des"
+        assert rebuilt.trials == 7
+        assert canonical_digest(rebuilt) == canonical_digest(request)
+
+    def test_rank_method_and_trials_enter_digest(self):
+        base = self._rank_request()
+        variants = [
+            self._rank_request(rank_method="des"),
+            self._rank_request(rank_method="des", trials=7),
+        ]
+        digests = [canonical_digest(v) for v in variants]
+        assert canonical_digest(base) not in digests
+        assert len(set(digests)) == len(digests)

@@ -265,3 +265,68 @@ class TestStats:
             }
             # the search populated some worker's stage cache
             assert stats["stage_cache"]["stage_misses"] > 0
+
+
+class TestDesRankPath:
+    def _rank_request(self, **overrides):
+        spec = _spec()
+        fields = dict(
+            kind="rank",
+            spec=spec,
+            num_nodes=2,
+            candidates={
+                "colocated": EnsemblePlacement(
+                    2, (MemberPlacement(0, (0,)),)
+                ),
+                "split": EnsemblePlacement(2, (MemberPlacement(0, (1,)),)),
+            },
+            robust_rate=0.05,
+        )
+        fields.update(overrides)
+        return PlacementRequest(**fields)
+
+    def test_des_rank_matches_batched_engine_directly(self):
+        from repro.faults.recovery import RetryBackoffPolicy
+        from repro.scheduler.robust import (
+            crash_straggler_factory,
+            rank_placements_robust,
+        )
+
+        request = self._rank_request(rank_method="des", trials=4)
+        payload = execute_request(request)
+        direct = rank_placements_robust(
+            request.spec,
+            request.candidates,
+            crash_straggler_factory(request.robust_rate),
+            RetryBackoffPolicy(),
+            trials=4,
+            base_seed=request.base_seed,
+            method="des",
+            engine="batched",
+        )
+        assert [e["name"] for e in payload["ranking"]] == [
+            s.name for s in direct
+        ]
+        assert [e["objective"] for e in payload["ranking"]] == [
+            s.objective for s in direct
+        ]
+
+    def test_des_rank_scores_carry_trials(self):
+        payload = execute_request(
+            self._rank_request(rank_method="des", trials=2)
+        )
+        assert all(e["trials"] == 2 for e in payload["ranking"])
+
+    def test_stats_surface_engine_counters(self):
+        from repro.faults.batched import reset_engine_counters
+
+        with PlacementService(workers=1) as service:
+            reset_engine_counters()
+            job = service.submit(
+                self._rank_request(rank_method="des", trials=3)
+            )
+            service.wait(job.id, timeout=60.0)
+            counters = service.stats()["batched"]
+            assert counters["baseline_sims"] == 2
+            assert counters["replicas_replayed"] == 2 * 3
+            assert counters["fallback_reason"] is None

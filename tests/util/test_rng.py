@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.util.errors import ValidationError
-from repro.util.rng import RandomSource, spawn_rngs
+from repro.util.rng import RandomSource, derive_replica_seed, spawn_rngs
 
 
 class TestRandomSource:
@@ -80,3 +80,39 @@ class TestSpawnRngs:
         assert np.array_equal(
             a["y"].generator.random(5), b["y"].generator.random(5)
         )
+
+
+class TestDeriveReplicaSeed:
+    def test_empty_label_is_literal_sum(self):
+        """The historical serial scheme — and the CRN pairing scheme:
+        same base_seed + replica everywhere means shared fault draws."""
+        assert derive_replica_seed(10, 0) == 10
+        assert derive_replica_seed(10, 3) == 13
+        assert derive_replica_seed(0, 0) == 0
+
+    def test_label_offset_is_deterministic(self):
+        a = derive_replica_seed(10, 3, label="c1")
+        assert derive_replica_seed(10, 3, label="c1") == a
+        assert a != derive_replica_seed(10, 3)
+
+    def test_distinct_labels_decorrelate(self):
+        seeds = {
+            derive_replica_seed(0, 0, label=name)
+            for name in ("c0", "c1", "c2", "c3")
+        }
+        assert len(seeds) == 4
+
+    def test_labelled_seeds_stay_non_negative(self):
+        assert derive_replica_seed(0, 0, label="anything") >= 0
+
+    def test_bool_and_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            derive_replica_seed(True, 0)
+        with pytest.raises(ValidationError):
+            derive_replica_seed(0, True)
+        with pytest.raises(ValidationError):
+            derive_replica_seed(-1, 0)
+        with pytest.raises(ValidationError):
+            derive_replica_seed(0, -2)
+        with pytest.raises(ValidationError):
+            derive_replica_seed(1.5, 0)
