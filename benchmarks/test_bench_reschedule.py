@@ -1,0 +1,102 @@
+"""Benchmark: the closed rescheduling loop vs a static placement.
+
+Two layers of enforcement:
+
+- the committed ``BENCH_reschedule.json`` must exist, carry passing
+  correctness verdicts (zero-drift byte-identity, invariants under
+  migration), and clear its recorded improvement floor — so a
+  regression cannot be hidden by simply not re-running the script;
+- a live measurement runs the canonical drift scenario fresh and
+  asserts the closed loop actually migrates off the drifted node and
+  beats the static makespan by the smoke-mode margin.
+"""
+
+import json
+from pathlib import Path
+
+from repro.reschedule import (
+    DriftEvent,
+    DriftKind,
+    RescheduleController,
+    StaticDriftModel,
+)
+from repro.runtime import run_ensemble
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec, default_member
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS = REPO_ROOT / "BENCH_reschedule.json"
+
+N_STEPS = 12
+
+
+def _spec():
+    return EnsembleSpec(
+        "reschedule-bench",
+        tuple(
+            default_member(f"em{i}", num_analyses=1, n_steps=N_STEPS)
+            for i in range(3)
+        ),
+    )
+
+
+def _placement():
+    return EnsemblePlacement(
+        4, tuple(MemberPlacement(i, (i,)) for i in range(3))
+    )
+
+
+def _drift():
+    return StaticDriftModel(
+        (DriftEvent(node=0, kind=DriftKind.STEP, start_step=4, magnitude=2.5),)
+    )
+
+
+def test_committed_results_pass_their_floors():
+    assert RESULTS.exists(), (
+        "BENCH_reschedule.json missing - run scripts/bench_reschedule.py"
+    )
+    results = json.loads(RESULTS.read_text())
+    for payload in results["correctness"]:
+        assert payload["passed"], (
+            f"{payload['scenario']} recorded a correctness divergence"
+        )
+    scenario = results["scenario"]
+    assert scenario["improvement"] >= results["floors"]["improvement"]
+    assert scenario["summary"]["migrations"] >= 1
+    assert scenario["rescheduled_makespan"] < scenario["static_makespan"]
+    assert scenario["invariant_checks"] > 0
+
+
+def test_bench_closed_loop(benchmark):
+    spec, placement = _spec(), _placement()
+    static = run_ensemble(
+        spec, placement, seed=0, timing_noise=0.02, drift=_drift()
+    )
+
+    def closed_loop():
+        controller = RescheduleController(
+            window=4, threshold=1.2, min_dwell=4, max_migrations=4
+        )
+        result = run_ensemble(
+            spec,
+            placement,
+            seed=0,
+            timing_noise=0.02,
+            drift=_drift(),
+            rescheduler=controller,
+        )
+        return result, controller
+
+    rescheduled, controller = benchmark(closed_loop)
+    assert controller.migrations_executed >= 1
+    improvement = 1.0 - (
+        rescheduled.ensemble_makespan / static.ensemble_makespan
+    )
+    assert improvement >= 0.10
+    print(
+        f"\nclosed loop: static {static.ensemble_makespan:.1f}s -> "
+        f"{rescheduled.ensemble_makespan:.1f}s "
+        f"({improvement:.1%} better, "
+        f"{controller.migrations_executed} migrations)"
+    )

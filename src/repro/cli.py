@@ -32,6 +32,13 @@ Commands
     Run the full resilience sweep (rates x recovery policies) instead.
 ``faults --validate``
     Run the surrogate-vs-DES validation table instead.
+``reschedule <config> [--drift-node N --drift-magnitude M ...]``
+    Execute one configuration twice under a node-attributed drift
+    scenario — once statically, once with the online rescheduling
+    controller attached — and print both makespans, the improvement,
+    and the migration log. ``--verify`` audits the rescheduled run
+    with the invariant checker (migration-aware); ``--json`` emits
+    the comparison as JSON.
 ``verify [configs...] [--faults] [--service] [--json]``
     Run the differential oracle harness over the canonical Table 2
     scenarios (analytic vs cached search vs surrogate vs DES) and
@@ -416,6 +423,113 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reschedule(args: argparse.Namespace) -> int:
+    config = ALL_CONFIGS.get(args.config)
+    if config is None:
+        print(
+            f"unknown configuration {args.config!r}; "
+            f"valid: {sorted(ALL_CONFIGS)}",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.reschedule import (
+        DriftEvent,
+        DriftKind,
+        RescheduleController,
+        StaticDriftModel,
+    )
+    from repro.runtime.executor import EnsembleExecutor
+
+    spec = build_spec(config, n_steps=args.steps)
+    placement = config.placement()
+    drift = StaticDriftModel(
+        (
+            DriftEvent(
+                node=args.drift_node,
+                kind=DriftKind(args.drift_kind),
+                start_step=args.drift_start,
+                magnitude=args.drift_magnitude,
+            ),
+        )
+    )
+    static = run_ensemble(
+        spec, placement, seed=args.seed, timing_noise=args.noise,
+        drift=drift,
+    )
+    controller = RescheduleController(
+        window=args.window,
+        threshold=args.threshold,
+        min_dwell=args.min_dwell,
+        max_migrations=args.max_migrations,
+    )
+    executor = EnsembleExecutor(
+        spec,
+        placement,
+        seed=args.seed,
+        timing_noise=args.noise,
+        drift=drift,
+        rescheduler=controller,
+        verify=args.verify,
+    )
+    rescheduled = executor.run()
+    improvement = 1.0 - (
+        rescheduled.ensemble_makespan / static.ensemble_makespan
+    )
+    summary = controller.summary()
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "config": args.config,
+                    "drift": {
+                        "node": args.drift_node,
+                        "kind": args.drift_kind,
+                        "magnitude": args.drift_magnitude,
+                        "start_step": args.drift_start,
+                    },
+                    "static_makespan": static.ensemble_makespan,
+                    "rescheduled_makespan": rescheduled.ensemble_makespan,
+                    "improvement": improvement,
+                    "controller": summary,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"{args.config} under {args.drift_kind} drift on node "
+        f"{args.drift_node} (x{args.drift_magnitude:g} from step "
+        f"{args.drift_start}):"
+    )
+    print(f"  static makespan      {static.ensemble_makespan:10.2f} s")
+    print(
+        f"  rescheduled makespan {rescheduled.ensemble_makespan:10.2f} s "
+        f"({improvement:+.1%})"
+    )
+    print(
+        f"  replans: {summary['replans_triggered']} triggered, "
+        f"{summary['replans_accepted']} accepted; "
+        f"{summary['migrations']} migrations moved "
+        f"{summary['components_moved']} components"
+    )
+    for record in summary["migration_records"]:
+        moves = ", ".join(
+            f"{m['component']} n{m['from_node']}->n{m['to_node']}"
+            for m in record["moves"]
+        )
+        print(
+            f"    step {record['step']:3d} {record['member']}: "
+            f"{moves or 'rebind only'} "
+            f"(delay {record['delay']:.4f} s)"
+        )
+    if executor.invariant_report is not None:
+        print()
+        print(executor.invariant_report.to_text())
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     import json
 
@@ -595,6 +709,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="audit the injected run with the DES invariant checker",
     )
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_resched = sub.add_parser(
+        "reschedule",
+        help="static vs online-rescheduled execution under drift",
+    )
+    p_resched.add_argument("config", help="configuration name (e.g. C1.5)")
+    p_resched.add_argument("--steps", type=int, default=24)
+    p_resched.add_argument("--seed", type=int, default=0)
+    p_resched.add_argument("--noise", type=float, default=0.02)
+    p_resched.add_argument(
+        "--drift-node", type=int, default=0,
+        help="node the drift event slows down",
+    )
+    p_resched.add_argument(
+        "--drift-kind", choices=("step", "ramp"), default="step"
+    )
+    p_resched.add_argument(
+        "--drift-magnitude", type=float, default=2.5,
+        help="inflation factor (step) or per-step increment (ramp)",
+    )
+    p_resched.add_argument("--drift-start", type=int, default=4)
+    p_resched.add_argument(
+        "--window", type=int, default=4,
+        help="telemetry/detector window (stage observations per node)",
+    )
+    p_resched.add_argument(
+        "--threshold", type=float, default=1.25,
+        help="observed/modeled ratio that trips the detector",
+    )
+    p_resched.add_argument("--min-dwell", type=int, default=4)
+    p_resched.add_argument("--max-migrations", type=int, default=4)
+    p_resched.add_argument(
+        "--verify",
+        action="store_true",
+        help="audit the rescheduled run with the invariant checker",
+    )
+    p_resched.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the comparison as JSON",
+    )
+    p_resched.set_defaults(func=_cmd_reschedule)
 
     p_verify = sub.add_parser(
         "verify",

@@ -1,0 +1,142 @@
+"""Windowed drift detection over telemetry ratios.
+
+The :class:`DriftDetector` watches the per-node observed/modeled
+ratios the :class:`~repro.reschedule.telemetry.TelemetryFeed` computes
+and decides when a node has genuinely drifted — as opposed to one
+noisy stage instance. Three guards keep it from crying wolf:
+
+- **full window** — a node must accumulate ``window`` compute-stage
+  observations before it can alarm at all, and the *windowed mean*
+  (not any single ratio) must cross ``threshold``;
+- **hysteresis** — after an alarm the node's trigger dis-arms and only
+  re-arms once its mean falls back below the release level
+  ``1 + hysteresis * (threshold - 1)``, so a node sitting exactly at
+  the threshold cannot re-alarm every observation;
+- **minimum dwell** — a node cannot alarm again within ``min_dwell``
+  steps of its previous alarm, bounding how often the (expensive)
+  re-planner can be invoked per node.
+
+With zero drift and zero timing noise every ratio is exactly 1.0, so
+the detector provably never fires; the hypothesis suite extends that
+to noisy runs (noise half-width well below ``threshold - 1``) across
+seeds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.util.errors import ValidationError
+from repro.util.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class DriftAlert:
+    """One detector firing: ``node`` looked ``ratio``x slow at ``step``."""
+
+    node: int
+    step: int
+    ratio: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DriftAlert(n{self.node} @ step {self.step} "
+            f"x{self.ratio:.3g})"
+        )
+
+
+class _NodeState:
+    """Per-node window + hysteresis arming state."""
+
+    __slots__ = ("window", "armed", "last_alert_step")
+
+    def __init__(self, maxlen: int) -> None:
+        self.window: Deque[float] = deque(maxlen=maxlen)
+        self.armed = True
+        self.last_alert_step: Optional[int] = None
+
+
+class DriftDetector:
+    """Windowed ratio test with hysteresis and a minimum-dwell guard.
+
+    Parameters
+    ----------
+    window:
+        Observations per node required (and averaged) before alarming.
+    threshold:
+        Windowed mean ratio at or above which a node alarms (> 1).
+    hysteresis:
+        Fraction of the threshold excess that must decay before the
+        node re-arms, in [0, 1]: release level is
+        ``1 + hysteresis * (threshold - 1)``.
+    min_dwell:
+        Minimum steps between consecutive alarms of one node (>= 1).
+    """
+
+    def __init__(
+        self,
+        window: int = 4,
+        threshold: float = 1.25,
+        hysteresis: float = 0.5,
+        min_dwell: int = 4,
+    ) -> None:
+        require_positive_int("window", window)
+        require_positive_int("min_dwell", min_dwell)
+        if threshold <= 1.0:
+            raise ValidationError(
+                f"threshold must be > 1, got {threshold!r}"
+            )
+        if not 0.0 <= hysteresis <= 1.0:
+            raise ValidationError(
+                f"hysteresis must lie in [0, 1], got {hysteresis!r}"
+            )
+        self.window = window
+        self.threshold = threshold
+        self.hysteresis = hysteresis
+        self.min_dwell = min_dwell
+        self.release = 1.0 + hysteresis * (threshold - 1.0)
+        self.alerts: List[DriftAlert] = []
+        self._nodes: Dict[int, _NodeState] = {}
+
+    def observe(self, node: int, ratio: float, step: int) -> Optional[DriftAlert]:
+        """Fold one ratio sample in; return an alert if the node fired."""
+        state = self._nodes.get(node)
+        if state is None:
+            state = _NodeState(self.window)
+            self._nodes[node] = state
+        state.window.append(ratio)
+        if len(state.window) < self.window:
+            return None
+        mean = sum(state.window) / len(state.window)
+        if not state.armed:
+            if mean < self.release:
+                state.armed = True
+            return None
+        if mean < self.threshold:
+            return None
+        if (
+            state.last_alert_step is not None
+            and step - state.last_alert_step < self.min_dwell
+        ):
+            return None
+        state.armed = False
+        state.last_alert_step = step
+        alert = DriftAlert(node=node, step=step, ratio=mean)
+        self.alerts.append(alert)
+        return alert
+
+    def reset_node(self, node: int) -> None:
+        """Forget a node's window and re-arm it (post-migration)."""
+        state = self._nodes.get(node)
+        if state is not None:
+            state.window.clear()
+            state.armed = True
+
+    def mean_ratio(self, node: int) -> float:
+        """Current windowed mean for ``node`` (1.0 when empty)."""
+        state = self._nodes.get(node)
+        if state is None or not state.window:
+            return 1.0
+        return sum(state.window) / len(state.window)

@@ -1,0 +1,166 @@
+"""Migration primitives: cost model, bindings, and the migration log.
+
+A mid-run migration quiesces a component at a step boundary, replays
+its state over the DTL to the destination node, rebinds it, and
+resumes. This module prices that state transfer and carries the
+bookkeeping:
+
+- :class:`MigrationCostModel` charges each move as a DTL *put* of the
+  component's state on the source node plus a *get* on the
+  destination — ``write_cost(src, bytes).total +
+  read_cost(src, dst, bytes).total`` at the platform's current
+  bandwidth — so migration cost and steady-state io cost share one
+  price list (see ``docs/RESCHEDULING.md`` for the derivation);
+- :class:`MemberBinding` is the one mutable cell between the executor's
+  DES processes and the controller: processes re-read
+  ``binding.member`` at each step boundary, and a migration swaps the
+  bound :class:`~repro.runtime.effective.EffectiveMember` there —
+  never mid-stage;
+- :class:`MigrationRecord` is the audited trail of every executed
+  migration (who moved, where, what it cost, and the DES clock span
+  of the pause).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.util.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dtl.base import DataTransportLayer
+    from repro.runtime.effective import EffectiveMember
+    from repro.runtime.placement import EnsemblePlacement
+    from repro.runtime.spec import EnsembleSpec
+
+
+@dataclass(frozen=True)
+class ComponentMove:
+    """One component relocating ``from_node`` → ``to_node``."""
+
+    member: str
+    component: str
+    from_node: int
+    to_node: int
+    state_bytes: float
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.from_node == self.to_node:
+            raise ValidationError(
+                f"{self.component}: move source and destination are both "
+                f"node {self.from_node}"
+            )
+        if self.cost < 0.0 or self.state_bytes < 0.0:
+            raise ValidationError(
+                f"{self.component}: negative move cost/state size"
+            )
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """A set of moves with its total DES-time price."""
+
+    moves: Tuple[ComponentMove, ...]
+
+    @property
+    def total_cost(self) -> float:
+        return sum(move.cost for move in self.moves)
+
+    def member_cost(self, member: str) -> float:
+        """The pause charged to one member (its own components' moves)."""
+        return sum(m.cost for m in self.moves if m.member == member)
+
+    def member_moves(self, member: str) -> Tuple[ComponentMove, ...]:
+        return tuple(m for m in self.moves if m.member == member)
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One executed migration: the audited pause of one member."""
+
+    member: str
+    step: int
+    moves: Tuple[ComponentMove, ...]
+    delay: float
+    start: float
+    end: float
+
+
+class MemberBinding:
+    """The mutable component→node binding one member runs under.
+
+    The DES processes re-read :attr:`member` at every step boundary;
+    :meth:`rebind` is only ever called from the controller at such a
+    boundary, so a member's stages within one step always come from a
+    single consistent :class:`EffectiveMember`.
+    """
+
+    __slots__ = ("member",)
+
+    def __init__(self, member: "EffectiveMember") -> None:
+        self.member = member
+
+    def rebind(self, member: "EffectiveMember") -> None:
+        self.member = member
+
+
+class MigrationCostModel:
+    """Price component moves as DTL state put/get at current bandwidth."""
+
+    def __init__(self, dtl: "DataTransportLayer") -> None:
+        self.dtl = dtl
+
+    def move_cost(self, src: int, dst: int, state_bytes: float) -> float:
+        """DES seconds to replay ``state_bytes`` from ``src`` to ``dst``."""
+        put = self.dtl.write_cost(src, state_bytes).total
+        get = self.dtl.read_cost(src, dst, state_bytes).total
+        return put + get
+
+    def plan_moves(
+        self,
+        spec: "EnsembleSpec",
+        current: "EnsemblePlacement",
+        target: "EnsemblePlacement",
+    ) -> MigrationPlan:
+        """Every component whose node differs, priced individually.
+
+        Component state is its coupling payload (``payload_bytes``) —
+        the in-memory working set the DTL already knows how to move.
+        """
+        moves = []
+        for member_spec, cur, tgt in zip(
+            spec.members, current.members, target.members
+        ):
+            components = [
+                (member_spec.simulation, cur.simulation_node,
+                 tgt.simulation_node),
+            ]
+            components.extend(
+                (ana, c, t)
+                for ana, c, t in zip(
+                    member_spec.analyses, cur.analysis_nodes,
+                    tgt.analysis_nodes,
+                )
+            )
+            for model, src, dst in components:
+                if src == dst:
+                    continue
+                state = float(model.payload_bytes())
+                moves.append(
+                    ComponentMove(
+                        member=member_spec.name,
+                        component=model.name,
+                        from_node=src,
+                        to_node=dst,
+                        state_bytes=state,
+                        cost=self.move_cost(src, dst, state),
+                    )
+                )
+        return MigrationPlan(moves=tuple(moves))
+
+
+def bindings_for(members) -> Dict[str, MemberBinding]:
+    """One binding per effective member, keyed by member name."""
+    return {member.name: MemberBinding(member) for member in members}

@@ -56,7 +56,27 @@ from repro.util.rng import RandomSource
 from repro.util.validation import require_non_negative
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.reschedule.controller import RescheduleController
+    from repro.reschedule.drift import DriftSchedule
+    from repro.reschedule.migration import MigrationRecord
     from repro.verify.invariants import InvariantChecker, InvariantReport
+
+
+class _StaticBinding:
+    """The no-rescheduler binding: one member, fixed for the whole run.
+
+    The DES processes read their member through a binding cell so a
+    :class:`~repro.reschedule.controller.RescheduleController` can swap
+    effective stages at a step boundary. Without a controller the cell
+    simply never changes — the per-step re-read returns the same
+    object, so the emitted event sequence is byte-identical to the
+    pre-binding executor.
+    """
+
+    __slots__ = ("member",)
+
+    def __init__(self, member: EffectiveMember) -> None:
+        self.member = member
 
 
 class TimelineRecorder:
@@ -143,6 +163,20 @@ class EnsembleExecutor:
         the clock, so a verified run's trace is byte-identical to an
         unverified one; when False the only extra cost is an
         ``is None`` test per stage.
+    drift:
+        Optional :class:`~repro.reschedule.drift.DriftSchedule` or
+        :class:`~repro.reschedule.drift.DriftModel`: node-attributed
+        multiplicative slowdowns applied to stage durations *after*
+        the jitter draw, so the RNG streams of a drifted run are
+        identical to the baseline's. An empty schedule (e.g. rate 0)
+        produces a byte-identical trace to no drift at all.
+    rescheduler:
+        Optional :class:`~repro.reschedule.controller
+        .RescheduleController`. When set, the controller observes
+        every stage at the choke point, and members adopt accepted
+        re-placements (with their DTL state-transfer pause) at step
+        boundaries. With zero drift the controller never fires, and
+        the trace is byte-identical to a bare run.
     """
 
     def __init__(
@@ -160,6 +194,8 @@ class EnsembleExecutor:
         recovery: Optional[RecoveryPolicy] = None,
         verify: bool = False,
         timeline_recorder: Optional[TimelineRecorder] = None,
+        drift: Optional[object] = None,
+        rescheduler: Optional[RescheduleController] = None,
     ) -> None:
         require_non_negative("timing_noise", timing_noise)
         self.spec = spec
@@ -178,8 +214,12 @@ class EnsembleExecutor:
         self.recovery = recovery
         self.verify = verify
         self.timeline_recorder = timeline_recorder
+        self.drift = drift
+        self.rescheduler = rescheduler
         self.fault_log: Optional[FaultLog] = None
         self.invariant_report: Optional[InvariantReport] = None
+        self.drift_schedule: Optional[DriftSchedule] = None
+        self.migration_log: List[MigrationRecord] = []
 
     def run(self) -> ExecutionResult:
         """Execute the ensemble; returns the full result bundle."""
@@ -204,6 +244,25 @@ class EnsembleExecutor:
             schedule = self.failure_model.build_schedule(self.spec)
             injector = FaultInjector(schedule, self.recovery)
             self.fault_log = injector.log
+        drift = None
+        if self.drift is not None:
+            from repro.reschedule.drift import coerce_drift
+
+            max_steps = max(m.n_steps for m in effective)
+            drift = coerce_drift(
+                self.drift, self.placement.num_nodes, max_steps
+            )
+        self.drift_schedule = drift
+        controller = self.rescheduler
+        if controller is not None:
+            controller.bind_run(
+                self.spec, self.placement, self.cluster, self.dtl, effective
+            )
+            bindings = controller.bindings
+        else:
+            bindings = {
+                member.name: _StaticBinding(member) for member in effective
+            }
         checker = None
         if self.verify:
             from repro.verify.invariants import InvariantChecker
@@ -213,17 +272,22 @@ class EnsembleExecutor:
                     self.timing_noise == 0.0
                     and injector is None
                     and not self.congestion_aware
+                    and drift is None
                 )
             )
 
         member_procs = []
         for member in effective:
             procs = self._launch_member(
-                env, member, tracer, root_rng, nics, injector, checker,
-                self.timeline_recorder,
+                env, bindings[member.name], tracer, root_rng, nics,
+                injector, checker, self.timeline_recorder, drift,
+                controller,
             )
             member_procs.extend(procs)
         env.run()
+        self.migration_log = (
+            list(controller.migration_log) if controller is not None else []
+        )
 
         result = build_result(
             spec=self.spec,
@@ -253,14 +317,17 @@ class EnsembleExecutor:
     def _launch_member(
         self,
         env: Environment,
-        member: EffectiveMember,
+        binding,
         tracer: StageTracer,
         root_rng: RandomSource,
         nics=None,
         injector: Optional[FaultInjector] = None,
         checker: Optional[InvariantChecker] = None,
         recorder: Optional[TimelineRecorder] = None,
+        drift: Optional[DriftSchedule] = None,
+        controller: Optional[RescheduleController] = None,
     ):
+        member = binding.member
         n = member.n_steps
         written: List[Event] = [env.event() for _ in range(n)]
         read_done: List[List[Event]] = [
@@ -275,8 +342,9 @@ class EnsembleExecutor:
         procs = [
             env.process(
                 _simulation_process(
-                    env, member, tracer, sim_rng, noise, written, all_read,
-                    dtl, injector, dropped, checker, recorder,
+                    env, binding, tracer, sim_rng, noise, written, all_read,
+                    dtl, injector, dropped, checker, recorder, drift,
+                    controller,
                 )
             )
         ]
@@ -286,7 +354,7 @@ class EnsembleExecutor:
                 env.process(
                     _analysis_process(
                         env,
-                        member,
+                        binding,
                         j,
                         tracer,
                         ana_rng,
@@ -299,6 +367,8 @@ class EnsembleExecutor:
                         dropped,
                         checker,
                         recorder,
+                        drift,
+                        controller,
                     )
                 )
             )
@@ -318,6 +388,7 @@ def _stage(
     body=None,
     checker: Optional[InvariantChecker] = None,
     recorder: Optional[TimelineRecorder] = None,
+    telemetry: Optional[RescheduleController] = None,
 ) -> Generator:
     """Run one timed stage, routing through the fault injector if any.
 
@@ -328,9 +399,16 @@ def _stage(
     on either path. Without an injector (or with nothing scheduled at
     this site) the emitted event sequence is exactly the baseline's;
     the checker only reads ``env.now`` and never schedules events.
+    The telemetry hook (the rescheduling controller) likewise never
+    touches the environment: it sees the same nominal-duration tuples
+    the recorder does and reacts in zero DES time.
     """
     if recorder is not None:
         recorder.observe(
+            member_name, component, stage, step, duration, step_time
+        )
+    if telemetry is not None:
+        telemetry.observe(
             member_name, component, stage, step, duration, step_time
         )
     start = env.now if checker is not None else 0.0
@@ -358,7 +436,7 @@ def _stage(
 
 def _simulation_process(
     env: Environment,
-    member: EffectiveMember,
+    binding,
     tracer: StageTracer,
     rng: RandomSource,
     noise: float,
@@ -369,16 +447,44 @@ def _simulation_process(
     dropped: Optional[Set[str]] = None,
     checker: Optional[InvariantChecker] = None,
     recorder: Optional[TimelineRecorder] = None,
+    drift: Optional[DriftSchedule] = None,
+    controller: Optional[RescheduleController] = None,
 ):
-    """S -> I^S -> W per step, enforcing W_{i+1} after all R_i."""
-    sim = member.simulation
-    step_time = sim.compute_time + sim.io_time
-    for step in range(member.n_steps):
+    """S -> I^S -> W per step, enforcing W_{i+1} after all R_i.
+
+    The member's effective stages are re-read through ``binding`` at
+    every step boundary: a migration swaps the binding there (and only
+    there), so each step's stages come from one consistent placement.
+    Without a controller the binding never changes and the re-read is
+    float-identical to the hoisted original.
+    """
+    member = binding.member
+    member_name = member.name
+    n_steps = member.n_steps
+    for step in range(n_steps):
+        if controller is not None:
+            delay = controller.begin_step(member_name, step)
+            if delay > 0.0:
+                pause_start = env.now
+                yield env.timeout(delay)
+                controller.note_migrated(
+                    member_name, step, pause_start, env.now
+                )
+                if checker is not None:
+                    checker.note_migration(
+                        member_name, step, delay, pause_start, env.now
+                    )
+            member = binding.member
+        sim = member.simulation
+        step_time = sim.compute_time + sim.io_time
+        s_duration = rng.uniform_jitter(sim.compute_time, noise)
+        if drift is not None:
+            s_duration *= drift.factor(sim.node, "S", step)
         t0 = env.now
         yield from _stage(
-            env, injector, member.name, sim.name, "S", step,
-            rng.uniform_jitter(sim.compute_time, noise), step_time,
-            checker=checker, recorder=recorder,
+            env, injector, member_name, sim.name, "S", step,
+            s_duration, step_time,
+            checker=checker, recorder=recorder, telemetry=controller,
         )
         t1 = env.now
         tracer.record(sim.name, Stage.SIM_COMPUTE, step, t0, t1)
@@ -388,10 +494,13 @@ def _simulation_process(
         t2 = env.now
         tracer.record(sim.name, Stage.SIM_IDLE, step, t1, t2)
 
+        w_duration = rng.uniform_jitter(sim.io_time, noise)
+        if drift is not None:
+            w_duration *= drift.factor(sim.node, "W", step)
         yield from _stage(
-            env, injector, member.name, sim.name, "W", step,
-            rng.uniform_jitter(sim.io_time, noise), step_time,
-            checker=checker, recorder=recorder,
+            env, injector, member_name, sim.name, "W", step,
+            w_duration, step_time,
+            checker=checker, recorder=recorder, telemetry=controller,
         )
         t3 = env.now
         tracer.record(sim.name, Stage.SIM_WRITE, step, t2, t3)
@@ -416,7 +525,7 @@ def _simulation_process(
 
 def _analysis_process(
     env: Environment,
-    member: EffectiveMember,
+    binding,
     index: int,
     tracer: StageTracer,
     rng: RandomSource,
@@ -429,30 +538,25 @@ def _analysis_process(
     dropped: Optional[Set[str]] = None,
     checker: Optional[InvariantChecker] = None,
     recorder: Optional[TimelineRecorder] = None,
+    drift: Optional[DriftSchedule] = None,
+    controller: Optional[RescheduleController] = None,
 ):
-    """R -> A -> I^A per step; R_i gated on W_i."""
-    ana = member.analyses[index]
+    """R -> A -> I^A per step; R_i gated on W_i.
+
+    The effective analysis (node, stage times, NIC) is re-read through
+    ``binding`` after the ``written[step]`` gate fires — by then the
+    member's simulation has already begun this step, so any migration
+    adopted at the step boundary is visible here before the step's R
+    stage prices itself. Without a controller the re-read returns the
+    same object every step.
+    """
+    member = binding.member
+    member_name = member.name
+    ana_name = member.analyses[index].name
     sim_name = member.simulation.name
-    step_time = ana.io_time + ana.compute_time
-    nic = (
-        nics.get(ana.producer_node)
-        if nics is not None and ana.transport_time > 0
-        else None
-    )
-
-    def read_body(scale: float) -> Generator:
-        # local share first (marshal + copy), then the network
-        # transport holding the producer's NIC
-        local_share = ana.io_time - ana.transport_time
-        if local_share > 0:
-            yield env.timeout(rng.uniform_jitter(local_share, noise) * scale)
-        req = nic.request(1)
-        yield req
-        yield env.timeout(rng.uniform_jitter(ana.transport_time, noise) * scale)
-        nic.release(req)
-
+    n_steps = member.n_steps
     try:
-        for step in range(member.n_steps):
+        for step in range(n_steps):
             wait_start = env.now
             if not written[step].triggered:
                 yield written[step]
@@ -460,55 +564,84 @@ def _analysis_process(
             if step > 0:
                 # the wait that just ended is the *previous* step's I^A
                 tracer.record(
-                    ana.name, Stage.ANA_IDLE, step - 1, wait_start, t1
+                    ana_name, Stage.ANA_IDLE, step - 1, wait_start, t1
                 )
+
+            member = binding.member
+            ana = member.analyses[index]
+            step_time = ana.io_time + ana.compute_time
+            nic = (
+                nics.get(ana.producer_node)
+                if nics is not None and ana.transport_time > 0
+                else None
+            )
+
+            def read_body(scale: float) -> Generator:
+                # local share first (marshal + copy), then the network
+                # transport holding the producer's NIC
+                local_share = ana.io_time - ana.transport_time
+                if local_share > 0:
+                    yield env.timeout(
+                        rng.uniform_jitter(local_share, noise) * scale
+                    )
+                req = nic.request(1)
+                yield req
+                yield env.timeout(
+                    rng.uniform_jitter(ana.transport_time, noise) * scale
+                )
+                nic.release(req)
 
             if nic is None:
                 read_duration = rng.uniform_jitter(ana.io_time, noise)
+                if drift is not None:
+                    read_duration *= drift.factor(ana.node, "R", step)
                 body = None
             else:
                 read_duration = ana.io_time
                 body = read_body
             try:
                 yield from _stage(
-                    env, injector, member.name, ana.name, "R", step,
+                    env, injector, member_name, ana_name, "R", step,
                     read_duration, step_time, producer=sim_name, body=body,
-                    checker=checker, recorder=recorder,
+                    checker=checker, recorder=recorder, telemetry=controller,
                 )
             except AnalysisDropped:
-                tracer.record(ana.name, Stage.ANA_READ, step, t1, env.now)
+                tracer.record(ana_name, Stage.ANA_READ, step, t1, env.now)
                 raise
             t2 = env.now
-            tracer.record(ana.name, Stage.ANA_READ, step, t1, t2)
+            tracer.record(ana_name, Stage.ANA_READ, step, t1, t2)
             if dtl is not None:
                 chunk = dtl.retrieve(
                     ChunkKey(producer=sim_name, step=step),
-                    consumer=ana.name,
+                    consumer=ana_name,
                 )
                 if int(chunk.payload[0]) != step:  # pragma: no cover
                     raise ProtocolError(
-                        f"member {member.name!r}: {ana.name} read step "
+                        f"member {member_name!r}: {ana_name} read step "
                         f"{int(chunk.payload[0])} while expecting {step}"
                     )
             read_done[step][index].succeed(step)
 
+            a_duration = rng.uniform_jitter(ana.compute_time, noise)
+            if drift is not None:
+                a_duration *= drift.factor(ana.node, "A", step)
             try:
                 yield from _stage(
-                    env, injector, member.name, ana.name, "A", step,
-                    rng.uniform_jitter(ana.compute_time, noise), step_time,
-                    checker=checker, recorder=recorder,
+                    env, injector, member_name, ana_name, "A", step,
+                    a_duration, step_time,
+                    checker=checker, recorder=recorder, telemetry=controller,
                 )
             except AnalysisDropped:
-                tracer.record(ana.name, Stage.ANA_COMPUTE, step, t2, env.now)
+                tracer.record(ana_name, Stage.ANA_COMPUTE, step, t2, env.now)
                 raise
             t3 = env.now
-            tracer.record(ana.name, Stage.ANA_COMPUTE, step, t2, t3)
+            tracer.record(ana_name, Stage.ANA_COMPUTE, step, t2, t3)
         # the final step has no subsequent write to wait for
         tracer.record(
-            ana.name, Stage.ANA_IDLE, member.n_steps - 1, env.now, env.now
+            ana_name, Stage.ANA_IDLE, n_steps - 1, env.now, env.now
         )
     except AnalysisDropped:
-        _retire_analysis(member, index, read_done, dtl, dropped)
+        _retire_analysis(binding.member, index, read_done, dtl, dropped)
 
 
 def _retire_analysis(

@@ -26,6 +26,8 @@ def run_ensemble(
     failure_model: Optional[FailureModel] = None,
     recovery: Optional[RecoveryPolicy] = None,
     verify: bool = False,
+    drift=None,
+    rescheduler=None,
 ) -> ExecutionResult:
     """Execute ``spec`` under ``placement`` and return the results.
 
@@ -54,4 +56,6 @@ def run_ensemble(
         failure_model=failure_model,
         recovery=recovery,
         verify=verify,
+        drift=drift,
+        rescheduler=rescheduler,
     ).run()

@@ -31,6 +31,7 @@ dominates the round-robin/random baselines on both F and makespan.
 """
 
 from repro.scheduler.annealing import SimulatedAnnealingPolicy
+from repro.scheduler.context import PlanningContext
 from repro.scheduler.objectives import (
     PlacementScore,
     score_placement,
@@ -57,6 +58,7 @@ __all__ = [
     "GreedyIndicatorPolicy",
     "PlacementScore",
     "Plan",
+    "PlanningContext",
     "RANK_METHODS",
     "RandomPolicy",
     "ResourceConstrainedPlanner",

@@ -269,18 +269,39 @@ class SimulatedAnnealingPolicy(SchedulingPolicy):
         spec: EnsembleSpec,
         num_nodes: int,
         cores_per_node: int,
+        initial_placement: Optional[EnsemblePlacement] = None,
     ) -> EnsemblePlacement:
+        """Anneal from a random feasible state, or warm-start.
+
+        ``initial_placement`` seeds the anneal from a known-good state
+        instead of a random one — the mid-run re-planner warm-starts
+        from the ensemble's *current* placement so the search explores
+        the neighbourhood of what is already running. Omitting it
+        preserves the seeded random start bit for bit (the warm start
+        skips the start-state RNG draw entirely, so the move sequence
+        itself is still the seed's).
+        """
         require_positive_int("num_nodes", num_nodes)
         self._check_total_capacity(spec, num_nodes, cores_per_node)
         self.stats = AnnealingStats()
         self._elite = {}
         gen = self.rng.generator
 
-        # start from a random feasible state (reusing the random policy's
-        # retry logic, seeded from our stream)
-        start = RandomPolicy(seed=int(gen.integers(0, 2**31))).place(
-            spec, num_nodes, cores_per_node
-        )
+        if initial_placement is not None:
+            if initial_placement.num_nodes != num_nodes:
+                raise ValidationError(
+                    f"initial_placement spans "
+                    f"{initial_placement.num_nodes} nodes, expected "
+                    f"{num_nodes}"
+                )
+            initial_placement.validate_against(spec, cores_per_node)
+            start = initial_placement
+        else:
+            # start from a random feasible state (reusing the random
+            # policy's retry logic, seeded from our stream)
+            start = RandomPolicy(seed=int(gen.integers(0, 2**31))).place(
+                spec, num_nodes, cores_per_node
+            )
         flat = self._flatten(spec, start)
         component_cores: List[int] = []
         for member in spec.members:

@@ -28,6 +28,7 @@ from repro.core.indicators import (
     MemberMeasurement,
     apply_stages,
 )
+from repro.scheduler.context import PlanningContext, _coerce_context
 from repro.core.insitu import member_makespan
 from repro.core.objective import objective_function
 from repro.core.stages import MemberStages
@@ -117,8 +118,16 @@ def score_placement(
     robustness: Optional[RobustnessTerm] = None,
     stages: Optional[Dict[str, MemberStages]] = None,
     cache: Optional["StageCache"] = None,
+    context: Optional[PlanningContext] = None,
 ) -> PlacementScore:
     """Score one placement via the analytic predictor.
+
+    The scoring context can be passed either through the legacy
+    ``cluster``/``dtl``/``robustness``/``cache`` keywords or bundled
+    in a single :class:`~repro.scheduler.context.PlanningContext` as
+    ``context=`` — the two spellings are float-identical (asserted by
+    the differential oracle's exact ``context`` tier). Mixing both
+    warns ``DeprecationWarning`` and lets the legacy values win.
 
     With a ``robustness`` term the score additionally carries
     ``robust_penalty = weight * (E[inflation] - 1)`` from the analytic
@@ -136,6 +145,19 @@ def score_placement(
     scores; a cache whose platform context does not match
     ``(cluster, dtl)`` is ignored.
     """
+    if context is not None:
+        merged = _coerce_context(
+            context,
+            "score_placement",
+            cluster=cluster,
+            dtl=dtl,
+            robustness=robustness,
+            cache=cache,
+        )
+        cluster = merged.cluster
+        dtl = merged.dtl
+        robustness = merged.robustness
+        cache = merged.cache
     if cache is not None and stages is None and cache.matches(cluster, dtl):
         evaluation = cache.member_terms(spec, placement)
         penalty = 0.0

@@ -33,6 +33,7 @@ from repro.faults.analytic import RobustnessTerm
 from repro.runtime.analytic import predict_member_stages
 from repro.runtime.placement import EnsemblePlacement, MemberPlacement
 from repro.runtime.spec import EnsembleSpec, MemberSpec
+from repro.scheduler.context import PlanningContext, _coerce_context
 from repro.scheduler.objectives import PlacementScore, score_placement
 from repro.scheduler.policies import GreedyIndicatorPolicy, SchedulingPolicy
 from repro.util.errors import ConfigurationError, PlacementError
@@ -70,6 +71,12 @@ class ResourceConstrainedPlanner:
         Optional :class:`~repro.search.cache.StageCache` used to score
         the final placement (shared across ``plan`` calls; a policy
         that accepts a cache benefits from warm entries too).
+    context:
+        Optional :class:`~repro.scheduler.context.PlanningContext`
+        bundling ``robustness``/``cache`` (mixing both spellings warns
+        ``DeprecationWarning``; legacy wins). Its ``cluster``/``dtl``
+        fields additionally scope the final placement score to that
+        platform — previously unreachable from the planner.
     """
 
     def __init__(
@@ -78,11 +85,25 @@ class ResourceConstrainedPlanner:
         core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
         robustness: Optional[RobustnessTerm] = None,
         cache: Optional["StageCache"] = None,
+        context: Optional[PlanningContext] = None,
     ) -> None:
         self.policy = policy or GreedyIndicatorPolicy()
         self.core_counts = list(core_counts)
         if not self.core_counts:
             raise ConfigurationError("core_counts must be non-empty")
+        self.cluster = None
+        self.dtl = None
+        if context is not None:
+            merged = _coerce_context(
+                context,
+                "ResourceConstrainedPlanner",
+                robustness=robustness,
+                cache=cache,
+            )
+            robustness = merged.robustness
+            cache = merged.cache
+            self.cluster = merged.cluster
+            self.dtl = merged.dtl
         self.robustness = robustness
         self.cache = cache
         #: probe predictions run by the most recent ``plan`` call —
@@ -104,8 +125,8 @@ class ResourceConstrainedPlanner:
         placement = self.policy.place(sized_spec, num_nodes, cores_per_node)
         placement = self._compact(placement)
         score = score_placement(
-            sized_spec, placement, robustness=self.robustness,
-            cache=self.cache,
+            sized_spec, placement, cluster=self.cluster, dtl=self.dtl,
+            robustness=self.robustness, cache=self.cache,
         )
         return Plan(
             spec=sized_spec,

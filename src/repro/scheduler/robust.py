@@ -46,6 +46,7 @@ from repro.runtime.analytic import predict_member_stages
 from repro.runtime.executor import EnsembleExecutor
 from repro.runtime.placement import EnsemblePlacement
 from repro.runtime.spec import EnsembleSpec
+from repro.scheduler.context import PlanningContext, _coerce_context
 from repro.scheduler.objectives import FINAL_STAGE_ORDER, score_placement
 from repro.util.errors import ValidationError
 from repro.util.rng import derive_replica_seed
@@ -305,9 +306,9 @@ def surrogate_score_placement(
 
 def _surrogate_rank_worker(payload: Tuple) -> RobustScore:
     """Pool worker: surrogate-score one named candidate."""
-    spec, name, placement, model, policy = payload
+    spec, name, placement, model, policy, cluster, dtl = payload
     return surrogate_score_placement(
-        spec, placement, model, policy, name=name
+        spec, placement, model, policy, cluster=cluster, dtl=dtl, name=name
     )
 
 
@@ -315,7 +316,7 @@ def _des_rank_worker(payload: Tuple) -> RobustScore:
     """Pool worker: DES-score one named candidate."""
     (
         spec, name, placement, model_factory, policy, trials, base_seed,
-        timing_noise, seed_label,
+        timing_noise, seed_label, cluster, dtl,
     ) = payload
     return robust_score_placement(
         spec,
@@ -325,6 +326,8 @@ def _des_rank_worker(payload: Tuple) -> RobustScore:
         trials=trials,
         base_seed=base_seed,
         timing_noise=timing_noise,
+        cluster=cluster,
+        dtl=dtl,
         name=name,
         seed_label=seed_label,
     )
@@ -399,6 +402,7 @@ def rank_placements_robust(
     parallel: bool = False,
     engine: str = "serial",
     crn: bool = True,
+    context: Optional[PlanningContext] = None,
 ) -> List[RobustScore]:
     """Score every candidate placement; best (highest robust F) first.
 
@@ -445,6 +449,13 @@ def rank_placements_robust(
         candidate comparisons are paired. ``False`` decorrelates
         candidates by hashing their names into the replica seeds.
         The default matches the historical serial behaviour exactly.
+    context:
+        Optional :class:`~repro.scheduler.context.PlanningContext`.
+        Its ``cache`` and ``parallel`` fields replace the legacy
+        keywords (mixing both warns ``DeprecationWarning``; legacy
+        wins), and its ``cluster``/``dtl`` — previously not reachable
+        from this entry point at all — are threaded into every
+        scoring call (DES, batched, and surrogate alike).
 
     Returns
     -------
@@ -456,6 +467,19 @@ def rank_placements_robust(
     ValidationError
         On an unknown ``method`` or ``engine``.
     """
+    cluster: Optional[Cluster] = None
+    dtl: Optional[DataTransportLayer] = None
+    if context is not None:
+        merged = _coerce_context(
+            context,
+            "rank_placements_robust",
+            cache=cache,
+            parallel=parallel,
+        )
+        cache = merged.cache
+        parallel = merged.parallel
+        cluster = merged.cluster
+        dtl = merged.dtl
     if method not in RANK_METHODS:
         valid = ", ".join(repr(m) for m in RANK_METHODS)
         raise ValidationError(
@@ -472,7 +496,7 @@ def rank_placements_robust(
             pooled = _parallel_map(
                 _surrogate_rank_worker,
                 [
-                    (spec, name, placement, model, policy)
+                    (spec, name, placement, model, policy, cluster, dtl)
                     for name, placement in candidates.items()
                 ],
             )
@@ -487,7 +511,8 @@ def rank_placements_robust(
             cache = StageCache()
         scores = [
             surrogate_score_placement(
-                spec, placement, model, policy, name=name, cache=cache
+                spec, placement, model, policy, cluster=cluster, dtl=dtl,
+                name=name, cache=cache,
             )
             for name, placement in candidates.items()
         ]
@@ -505,6 +530,8 @@ def rank_placements_robust(
             timing_noise=timing_noise,
             crn=crn,
             parallel=parallel,
+            cluster=cluster,
+            dtl=dtl,
         )
     if parallel:
         pooled = _parallel_map(
@@ -513,6 +540,7 @@ def rank_placements_robust(
                 (
                     spec, name, placement, model_factory, policy, trials,
                     base_seed, timing_noise, "" if crn else name,
+                    cluster, dtl,
                 )
                 for name, placement in candidates.items()
             ],
@@ -531,6 +559,8 @@ def rank_placements_robust(
             trials=trials,
             base_seed=base_seed,
             timing_noise=timing_noise,
+            cluster=cluster,
+            dtl=dtl,
             name=name,
             seed_label="" if crn else name,
         )

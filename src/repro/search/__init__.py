@@ -65,7 +65,10 @@ _LAZY_EXPORTS = {
     "best_score_index": "repro.search.vectorized",
     "find_best_placement": "repro.search.engine",
     "find_best_placement_vectorized": "repro.search.vectorized",
+    "last_search_routing": "repro.search.engine",
+    "reset_search_counters": "repro.search.engine",
     "score_placements_batch": "repro.search.batch",
+    "search_counters": "repro.search.engine",
 }
 
 
@@ -104,6 +107,9 @@ __all__ = [
     "find_best_placement_vectorized",
     "iter_assignment_chunks",
     "iter_canonical_assignments",
+    "last_search_routing",
     "member_shapes",
+    "reset_search_counters",
     "score_placements_batch",
+    "search_counters",
 ]

@@ -18,7 +18,8 @@ bit-identical in the tests.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import threading
+from typing import Dict, Optional, Tuple
 
 from repro.core.objective import objective_function
 from repro.dtl.base import DataTransportLayer
@@ -26,6 +27,7 @@ from repro.faults.analytic import RobustnessTerm
 from repro.platform.cluster import Cluster
 from repro.platform.specs import make_cori_like_cluster
 from repro.runtime.spec import EnsembleSpec
+from repro.scheduler.context import PlanningContext, _coerce_context
 from repro.scheduler.objectives import PlacementScore
 from repro.search.batch import score_placements_batch
 from repro.search.canonical import (
@@ -37,6 +39,76 @@ from repro.search.canonical import (
 from repro.search.cache import StageCache
 from repro.util.errors import PlacementError
 from repro.util.validation import require_positive_int
+
+# -- vectorized-routing observability ----------------------------------------
+# The vectorized gate used to fall back to the scalar path silently
+# (``except VectorizedUnsupported: pass``), leaving callers who asked
+# for the kernel no way to tell whether it actually ran. Mirroring the
+# batched fault engine's counters, every search records how it was
+# routed; the service surfaces these through ``/stats``.
+_SEARCH_LOCK = threading.Lock()
+_SEARCH_COUNTERS: Dict[str, int] = {
+    "searches": 0,
+    "vectorized_requested": 0,
+    "vectorized_used": 0,
+    "vectorized_fallbacks": 0,
+}
+_LAST_ROUTING: Dict[str, object] = {
+    "vectorized_requested": False,
+    "vectorized_used": False,
+    "fallback_reason": None,
+}
+
+
+def search_counters() -> Dict[str, int]:
+    """Snapshot of the engine-routing counters (process-wide)."""
+    with _SEARCH_LOCK:
+        return dict(_SEARCH_COUNTERS)
+
+
+def reset_search_counters() -> None:
+    """Zero the routing counters and clear the last-routing record."""
+    with _SEARCH_LOCK:
+        for key in _SEARCH_COUNTERS:
+            _SEARCH_COUNTERS[key] = 0
+        _LAST_ROUTING.update(
+            {
+                "vectorized_requested": False,
+                "vectorized_used": False,
+                "fallback_reason": None,
+            }
+        )
+
+
+def last_search_routing() -> Dict[str, object]:
+    """How the most recent :func:`find_best_placement` call was routed.
+
+    ``fallback_reason`` is a human-readable sentence set only when the
+    caller requested ``vectorized=True`` but the scalar path ran —
+    the structured replacement for the old silent fallback.
+    """
+    with _SEARCH_LOCK:
+        return dict(_LAST_ROUTING)
+
+
+def _note_routing(
+    requested: bool, used: bool, reason: Optional[str]
+) -> None:
+    with _SEARCH_LOCK:
+        _SEARCH_COUNTERS["searches"] += 1
+        if requested:
+            _SEARCH_COUNTERS["vectorized_requested"] += 1
+            if used:
+                _SEARCH_COUNTERS["vectorized_used"] += 1
+            else:
+                _SEARCH_COUNTERS["vectorized_fallbacks"] += 1
+        _LAST_ROUTING.update(
+            {
+                "vectorized_requested": requested,
+                "vectorized_used": used,
+                "fallback_reason": reason if requested and not used else None,
+            }
+        )
 
 
 def find_best_placement(
@@ -51,6 +123,7 @@ def find_best_placement(
     processes: Optional[int] = None,
     vectorized: bool = False,
     chunk_size: int = 8192,
+    context: Optional[PlanningContext] = None,
 ) -> Tuple[PlacementScore, int]:
     """Exhaustively search the canonical space; return (best, evaluated).
 
@@ -81,6 +154,15 @@ def find_best_placement(
         unchanged. The returned score is re-derived through the scalar
         cache either way, and ``evaluated`` counts the whole canonical
         space (scored + pruned), so callers observe identical results.
+        When the scalar path runs despite ``vectorized=True``, the
+        reason is recorded — :func:`last_search_routing` returns it
+        and :func:`search_counters` tallies it (nothing falls back
+        silently).
+    context:
+        A :class:`~repro.scheduler.context.PlanningContext` bundling
+        the eight keywords above. Float-identical to the legacy
+        spelling; mixing both warns ``DeprecationWarning`` with the
+        legacy values taking precedence.
 
     Raises
     ------
@@ -89,9 +171,31 @@ def find_best_placement(
     """
     require_positive_int("num_nodes", num_nodes)
     require_positive_int("cores_per_node", cores_per_node)
+    if context is not None:
+        merged = _coerce_context(
+            context,
+            "find_best_placement",
+            cluster=cluster,
+            dtl=dtl,
+            robustness=robustness,
+            cache=cache,
+            parallel=parallel,
+            processes=processes,
+            vectorized=vectorized,
+            chunk_size=chunk_size,
+        )
+        cluster = merged.cluster
+        dtl = merged.dtl
+        robustness = merged.robustness
+        cache = merged.cache
+        parallel = merged.parallel
+        processes = merged.processes
+        vectorized = merged.vectorized
+        chunk_size = merged.chunk_size
     if cache is None or not cache.matches(cluster, dtl):
         cache = StageCache(cluster, dtl)
 
+    fallback_reason: Optional[str] = None
     component_cores = component_core_demands(spec)
     if vectorized and robustness is None and not parallel:
         from repro.search.canonical import count_canonical_assignments
@@ -115,10 +219,23 @@ def find_best_placement(
                     cache=cache,
                     chunk_size=chunk_size,
                 )
-            except VectorizedUnsupported:
-                pass
+            except VectorizedUnsupported as exc:
+                fallback_reason = f"context not vectorizable: {exc}"
             else:
+                _note_routing(True, True, None)
                 return result.best, result.candidates
+        else:
+            fallback_reason = (
+                f"canonical space below threshold ({total} < "
+                f"{MIN_VECTORIZED_CANDIDATES} candidates)"
+            )
+    elif vectorized:
+        fallback_reason = (
+            "robustness term present"
+            if robustness is not None
+            else "parallel engine requested"
+        )
+    _note_routing(vectorized, False, fallback_reason)
 
     if parallel:
         candidates = list(

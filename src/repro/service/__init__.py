@@ -39,6 +39,7 @@ from repro.service.client import PlacementClient, ServiceError
 from repro.service.jobs import JobState, PlacementJob, PlacementJobQueue
 from repro.service.schemas import (
     PlacementRequest,
+    RescheduleOptions,
     canonical_digest,
     placement_from_dict,
     placement_to_dict,
@@ -59,6 +60,7 @@ __all__ = [
     "PlacementRequest",
     "PlacementServer",
     "PlacementService",
+    "RescheduleOptions",
     "ResultCache",
     "ServiceError",
     "canonical_digest",

@@ -105,6 +105,36 @@ class PlacementClient:
             priority=priority,
         )
 
+    def submit_reschedule(
+        self,
+        spec: EnsembleSpec,
+        num_nodes: int,
+        placement,
+        reschedule=None,
+        cores_per_node: int = 32,
+        priority: int = 0,
+        **kwargs,
+    ) -> dict:
+        """Convenience: submit a static-vs-rescheduled drift comparison.
+
+        ``reschedule`` is an optional
+        :class:`~repro.service.schemas.RescheduleOptions` carrying the
+        drift scenario and controller knobs (defaults apply when
+        omitted).
+        """
+        return self.submit(
+            PlacementRequest(
+                kind="reschedule",
+                spec=spec,
+                num_nodes=num_nodes,
+                cores_per_node=cores_per_node,
+                placement=placement,
+                reschedule=reschedule,
+                **kwargs,
+            ),
+            priority=priority,
+        )
+
     def job(self, job_id: str) -> dict:
         """GET one job snapshot (includes the result when done)."""
         return self._call("GET", f"/jobs/{job_id}")

@@ -50,7 +50,7 @@ from repro.util.validation import require_positive_int
 SCHEMA_VERSION = 1
 
 #: Request kinds the service executes.
-REQUEST_KINDS: Tuple[str, ...] = ("search", "score", "rank")
+REQUEST_KINDS: Tuple[str, ...] = ("search", "score", "rank", "reschedule")
 
 _PROFILE_FIELDS = (
     "working_set_bytes",
@@ -248,6 +248,80 @@ def robust_score_from_dict(payload: dict) -> RobustScore:
     )
 
 
+# -- reschedule options ------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class RescheduleOptions:
+    """Drift scenario + controller knobs for a ``reschedule`` request.
+
+    The drift is a single node-attributed event
+    (:class:`~repro.reschedule.drift.DriftEvent`): ``drift_kind``
+    selects the shape (``"step"``: constant factor from
+    ``drift_start`` on; ``"ramp"``: per-step increment), and the
+    controller knobs mirror
+    :class:`~repro.reschedule.controller.RescheduleController`.
+    """
+
+    drift_node: int = 0
+    drift_kind: str = "step"
+    drift_magnitude: float = 2.5
+    drift_start: int = 4
+    window: int = 4
+    threshold: float = 1.25
+    min_dwell: int = 4
+    min_gain: float = 0.0
+    max_migrations: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.drift_kind not in ("step", "ramp"):
+            raise ValidationError(
+                f"unknown drift_kind {self.drift_kind!r}; "
+                f"valid: ['step', 'ramp']"
+            )
+        if self.drift_node < 0:
+            raise ValidationError(
+                f"drift_node must be >= 0, got {self.drift_node!r}"
+            )
+        if self.drift_start < 0:
+            raise ValidationError(
+                f"drift_start must be >= 0, got {self.drift_start!r}"
+            )
+        if self.drift_kind == "step" and self.drift_magnitude <= 1.0:
+            raise ValidationError(
+                f"step drift_magnitude must be > 1, got "
+                f"{self.drift_magnitude!r}"
+            )
+        if self.drift_kind == "ramp" and self.drift_magnitude <= 0.0:
+            raise ValidationError(
+                f"ramp drift_magnitude must be > 0, got "
+                f"{self.drift_magnitude!r}"
+            )
+        if self.threshold <= 1.0:
+            raise ValidationError(
+                f"threshold must be > 1, got {self.threshold!r}"
+            )
+        require_positive_int("window", self.window)
+        require_positive_int("min_dwell", self.min_dwell)
+        require_positive_int("max_migrations", self.max_migrations)
+
+
+def reschedule_options_to_dict(options: RescheduleOptions) -> dict:
+    """Serialize the full options record (attached only when present)."""
+    return dataclasses.asdict(options)
+
+
+def reschedule_options_from_dict(payload: dict) -> RescheduleOptions:
+    defaults = RescheduleOptions()
+    return RescheduleOptions(
+        **{
+            field.name: payload.get(
+                field.name, getattr(defaults, field.name)
+            )
+            for field in dataclasses.fields(RescheduleOptions)
+        }
+    )
+
+
 # -- requests ----------------------------------------------------------------
 @dataclasses.dataclass(frozen=True)
 class PlacementRequest:
@@ -266,7 +340,12 @@ class PlacementRequest:
       closed form (:func:`~repro.scheduler.robust
       .rank_placements_robust`, ``method="surrogate"``);
       ``rank_method="des"`` averages ``trials`` injected DES replicas
-      per candidate through the batched delta-replay engine instead.
+      per candidate through the batched delta-replay engine instead;
+    - ``"reschedule"`` — run the given ``placement`` through the DES
+      twice under the drift scenario in ``reschedule``
+      (:class:`RescheduleOptions`): once statically and once with the
+      online rescheduling controller attached, returning both
+      makespans, the relative improvement, and the migration log.
 
     A positive ``robust_rate`` prices failures into search/score
     requests through a node-crash
@@ -288,6 +367,7 @@ class PlacementRequest:
     base_seed: int = 0
     rank_method: str = "surrogate"
     trials: int = 3
+    reschedule: Optional[RescheduleOptions] = None
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
@@ -299,6 +379,10 @@ class PlacementRequest:
         require_positive_int("cores_per_node", self.cores_per_node)
         if self.kind == "score" and self.placement is None:
             raise ValidationError("a 'score' request needs a placement")
+        if self.kind == "reschedule" and self.placement is None:
+            raise ValidationError(
+                "a 'reschedule' request needs a placement to drift"
+            )
         if self.kind == "rank" and not self.candidates:
             raise ValidationError(
                 "a 'rank' request needs at least one named candidate"
@@ -346,6 +430,10 @@ def request_to_dict(request: PlacementRequest) -> dict:
         payload["rank_method"] = request.rank_method
     if request.trials != 3:
         payload["trials"] = request.trials
+    if request.reschedule is not None:
+        payload["reschedule"] = reschedule_options_to_dict(
+            request.reschedule
+        )
     return payload
 
 
@@ -378,6 +466,11 @@ def request_from_dict(payload: dict) -> PlacementRequest:
         base_seed=payload.get("base_seed", 0),
         rank_method=payload.get("rank_method", "surrogate"),
         trials=payload.get("trials", 3),
+        reschedule=(
+            reschedule_options_from_dict(payload["reschedule"])
+            if "reschedule" in payload
+            else None
+        ),
     )
 
 

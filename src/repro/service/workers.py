@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.faults.analytic import RobustnessTerm, node_crash_builder
 from repro.faults.recovery import make_policy
+from repro.scheduler.context import PlanningContext
 from repro.scheduler.objectives import score_placement
 from repro.scheduler.robust import (
     crash_straggler_factory,
@@ -73,6 +74,65 @@ def _robustness_term(request: PlacementRequest) -> Optional[RobustnessTerm]:
     )
 
 
+def _execute_reschedule(request: PlacementRequest) -> dict:
+    """Static vs rescheduled DES comparison under the request's drift.
+
+    Both runs share one seed and one compiled drift schedule, so the
+    only difference between them is the controller's migrations — the
+    improvement is attributable, and the payload is deterministic
+    (same request, same floats, any worker).
+    """
+    from repro.reschedule import (
+        DriftEvent,
+        DriftKind,
+        RescheduleController,
+        StaticDriftModel,
+    )
+    from repro.runtime.runner import run_ensemble
+    from repro.service.schemas import RescheduleOptions
+
+    options = request.reschedule or RescheduleOptions()
+    drift = StaticDriftModel(
+        (
+            DriftEvent(
+                node=options.drift_node,
+                kind=DriftKind(options.drift_kind),
+                start_step=options.drift_start,
+                magnitude=options.drift_magnitude,
+            ),
+        )
+    )
+    static = run_ensemble(
+        request.spec,
+        request.placement,
+        seed=options.seed,
+        drift=drift,
+    )
+    controller = RescheduleController(
+        window=options.window,
+        threshold=options.threshold,
+        min_dwell=options.min_dwell,
+        min_gain=options.min_gain,
+        max_migrations=options.max_migrations,
+    )
+    rescheduled = run_ensemble(
+        request.spec,
+        request.placement,
+        seed=options.seed,
+        drift=drift,
+        rescheduler=controller,
+    )
+    improvement = 1.0 - (
+        rescheduled.ensemble_makespan / static.ensemble_makespan
+    )
+    return {
+        "static_makespan": static.ensemble_makespan,
+        "rescheduled_makespan": rescheduled.ensemble_makespan,
+        "improvement": improvement,
+        "controller": controller.summary(),
+    }
+
+
 def execute_request(
     request: PlacementRequest,
     stage_cache: Optional[StageCache] = None,
@@ -81,37 +141,42 @@ def execute_request(
 
     The payload mirrors what ``GET /jobs/<id>`` serves:
 
-    - ``search`` -> ``{"score": ..., "evaluated": int}``
-    - ``score``  -> ``{"score": ...}``
-    - ``rank``   -> ``{"ranking": [...]}`` (best first)
+    - ``search``     -> ``{"score": ..., "evaluated": int}``
+    - ``score``      -> ``{"score": ...}``
+    - ``rank``       -> ``{"ranking": [...]}`` (best first)
+    - ``reschedule`` -> static vs rescheduled DES makespans under the
+      request's drift scenario, plus the migration log.
 
     A shared ``stage_cache`` only memoizes — payloads are bit-identical
-    with or without it.
+    with or without it. Scoring and search calls route through one
+    :class:`~repro.scheduler.context.PlanningContext` (float-identical
+    to the legacy keyword spelling by the oracle's exact context tier).
     """
     robustness = _robustness_term(request)
+    context = PlanningContext(robustness=robustness, cache=stage_cache)
     if request.kind == "search":
         # vectorized=True routes large canonical spaces through the
         # batch kernel with branch-and-bound; the winner is re-scored
         # on the scalar path, so the payload (score floats, evaluated
         # count) is identical to the scalar engine's — small instances
         # and robust searches stay on the scalar path automatically
+        # (the routing taken is visible via engine.search_counters)
         best, evaluated = find_best_placement(
             request.spec,
             request.num_nodes,
             request.cores_per_node,
-            robustness=robustness,
-            cache=stage_cache,
-            vectorized=True,
+            context=context.evolve(vectorized=True),
         )
         return {"score": score_to_dict(best), "evaluated": evaluated}
     if request.kind == "score":
         score = score_placement(
             request.spec,
             request.placement,
-            robustness=robustness,
-            cache=stage_cache,
+            context=context,
         )
         return {"score": score_to_dict(score)}
+    if request.kind == "reschedule":
+        return _execute_reschedule(request)
     if request.kind == "rank":
         if request.rank_method == "des":
             # full injected trials, replayed by the batched engine:
@@ -135,7 +200,7 @@ def execute_request(
                 make_policy(request.policy),
                 base_seed=request.base_seed,
                 method="surrogate",
-                cache=stage_cache,
+                context=context,
             )
         return {"ranking": [robust_score_to_dict(s) for s in ranking]}
     raise ValidationError(f"unknown request kind {request.kind!r}")
@@ -336,8 +401,10 @@ class PlacementService:
         return totals
 
     def stats(self) -> dict:
-        """The ``GET /stats`` payload: queue, caches, pool, engine."""
+        """The ``GET /stats`` payload: queue, caches, pool, engines."""
         from repro.faults.batched import engine_counters
+        from repro.reschedule import reschedule_counters
+        from repro.search.engine import last_search_routing, search_counters
 
         return {
             "queue": self.queue.stats(),
@@ -347,4 +414,9 @@ class PlacementService:
             "job_timeout": self.job_timeout,
             "max_retries": self.max_retries,
             "batched": engine_counters(),
+            "search": {
+                **search_counters(),
+                "last_routing": last_search_routing(),
+            },
+            "reschedule": reschedule_counters(),
         }

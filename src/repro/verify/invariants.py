@@ -116,6 +116,8 @@ class InvariantChecker:
         self._active: Dict[Tuple[str, str, int], float] = {}
         self._sim_starts: Dict[str, List[float]] = {}
         self._members_of: Dict[str, set] = {}
+        # steps at which each member executed a migration pause
+        self._migration_steps: Dict[str, List[int]] = {}
 
     # -- recording ----------------------------------------------------------
     def _fail(self, message: str) -> None:
@@ -175,6 +177,39 @@ class InvariantChecker:
             if stage == "S":
                 self._sim_starts.setdefault(member, []).append(start)
 
+    def note_migration(
+        self,
+        member: str,
+        step: int,
+        delay: float,
+        start: float,
+        end: float,
+    ) -> None:
+        """Record one executed migration pause (called by the executor).
+
+        The pause itself is audited — non-negative price, clock moved
+        forward by exactly the charged delay — and the step is kept so
+        :meth:`check_periods` can segment the Eq. 1 check at the
+        migration boundary (the steady-state period legitimately
+        changes when the placement does).
+        """
+        self._check(
+            delay >= 0.0,
+            f"{member}: migration at step {step} charged a negative "
+            f"delay {delay!r}",
+        )
+        self._check(
+            end >= start,
+            f"{member}: migration at step {step} ran the clock "
+            f"backwards (start={start!r}, end={end!r})",
+        )
+        self._check(
+            abs((end - start) - delay) <= EXACT_EPS * max(1.0, delay),
+            f"{member}: migration pause at step {step} spanned "
+            f"{end - start!r} on the clock but charged {delay!r}",
+        )
+        self._migration_steps.setdefault(member, []).append(step)
+
     # -- end-of-run audits --------------------------------------------------
     def check_periods(self) -> None:
         """Eq. 1: steady-state S-starts are exactly ``sigma*`` apart.
@@ -184,26 +219,48 @@ class InvariantChecker:
         components of their per-step active time — so the check is
         self-contained: it needs no analytic predictor to disagree
         with.
+
+        Migrations segment the check: a member that migrated before
+        step ``m`` runs one steady state on ``[0, m)`` and another on
+        ``[m, n)`` (the placement — hence ``sigma*`` — changed), so
+        each segment derives its own period from its own first step's
+        active times. The period spanning the migration pause and the
+        first post-migration period (pipeline re-fill, mirroring the
+        run-start warm-up) are excluded. With no migrations there is
+        one segment and the check reduces to the original.
         """
         if not self.exact:
             return
         for member, starts in self._sim_starts.items():
-            if len(starts) < 3:
-                continue
-            sigma = max(
-                self._active.get((member, component, 0), 0.0)
-                for component in self._members_of.get(member, ())
+            boundaries = sorted(
+                {
+                    step
+                    for step in self._migration_steps.get(member, ())
+                    if 0 < step < len(starts)
+                }
             )
-            scale = max(1.0, sigma)
-            # warm-up: the step0 -> step1 period may include pipeline
-            # fill; from step 1 on the run is the steady state.
-            for i in range(1, len(starts) - 1):
-                period = starts[i + 1] - starts[i]
-                self._check(
-                    abs(period - sigma) <= EXACT_EPS * scale,
-                    f"{member}: period between S{i} and S{i + 1} is "
-                    f"{period!r}, expected sigma*={sigma!r} (Eq. 1)",
+            segments = list(
+                zip([0] + boundaries, boundaries + [len(starts)])
+            )
+            for seg_start, seg_end in segments:
+                # warm-up: the first period of a segment may include
+                # pipeline fill; post-migration segments also skip the
+                # following period while the coupling re-settles.
+                first = seg_start + (1 if seg_start == 0 else 2)
+                if seg_end - first < 2:
+                    continue
+                sigma = max(
+                    self._active.get((member, component, seg_start), 0.0)
+                    for component in self._members_of.get(member, ())
                 )
+                scale = max(1.0, sigma)
+                for i in range(first, seg_end - 1):
+                    period = starts[i + 1] - starts[i]
+                    self._check(
+                        abs(period - sigma) <= EXACT_EPS * scale,
+                        f"{member}: period between S{i} and S{i + 1} is "
+                        f"{period!r}, expected sigma*={sigma!r} (Eq. 1)",
+                    )
 
     def check_resources(self, resources: Iterable["Resource"]) -> None:
         """Every resource ends the run drained: nothing held or queued."""

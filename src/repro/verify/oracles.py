@@ -70,6 +70,9 @@ from repro.util.errors import ValidationError
 DEFAULT_TOLERANCES: Dict[str, float] = {
     # tier 0: memoized/cached paths vs their reference implementations
     "cache": 0.0,
+    # tier 0: the PlanningContext spelling vs the legacy keyword
+    # spelling of the same scoring call — pure plumbing, so exact
+    "context": 0.0,
     # tier 0.5: the numpy batch kernel vs the scalar scorer — a few
     # ulps of reassociation (n*overhead vs a repeated sum, segment
     # reductions), nowhere near the DES band
@@ -295,6 +298,7 @@ def run_differential_oracle(
     service_url: Optional[str] = None,
     fault_factory: Optional[Callable[[int], FailureModel]] = None,
     batched_score_fn: Optional[Callable] = None,
+    context_score_fn: Optional[Callable] = None,
 ) -> DivergenceReport:
     """Run one scenario through every evaluation path; report agreement.
 
@@ -345,6 +349,13 @@ def run_differential_oracle(
         :func:`~repro.faults.batched.batched_score_placement`. Same
         mutation hook as ``predictor`` — the tests substitute a scorer
         replaying a perturbed timeline and the oracle must fail.
+    context_score_fn:
+        Scorer invoked with the ``context=``
+        (:class:`~repro.scheduler.context.PlanningContext`) spelling;
+        defaults to :func:`~repro.scheduler.objectives.score_placement`.
+        Compared *exactly* (tier 0) against the legacy-keyword call —
+        the two spellings are pure plumbing around the same floats.
+        Same mutation hook as ``predictor``.
 
     Returns
     -------
@@ -427,6 +438,51 @@ def run_differential_oracle(
                     tolerance=tol["cache"],
                 )
             )
+
+    # -- tier 0: the PlanningContext spelling vs the legacy keywords -------
+    from repro.scheduler.context import PlanningContext
+
+    context_score = context_score_fn or score_placement
+    context_scored = context_score(
+        spec,
+        placement,
+        context=PlanningContext(cluster=cluster, dtl=dtl, cache=cache),
+    )
+    checks.append(
+        MetricCheck(
+            scope="ensemble",
+            metric="objective",
+            paths="legacy-vs-context",
+            reference=reference_score.objective,
+            candidate=context_scored.objective,
+            tolerance=tol["context"],
+        )
+    )
+    checks.append(
+        MetricCheck(
+            scope="ensemble",
+            metric="makespan",
+            paths="legacy-vs-context",
+            reference=reference_score.ensemble_makespan,
+            candidate=context_scored.ensemble_makespan,
+            tolerance=tol["context"],
+        )
+    )
+    for member, ref_i, cand_i in zip(
+        spec.members,
+        reference_score.member_indicators,
+        context_scored.member_indicators,
+    ):
+        checks.append(
+            MetricCheck(
+                scope=member.name,
+                metric="indicator",
+                paths="legacy-vs-context",
+                reference=ref_i,
+                candidate=cand_i,
+                tolerance=tol["context"],
+            )
+        )
 
     # -- tier 0: the HTTP service path vs the direct scorer ----------------
     if service_url is not None and cluster is None and dtl is None:

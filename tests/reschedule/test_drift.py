@@ -1,0 +1,171 @@
+"""Property tests for drift events, schedules, and coercion.
+
+Drift is the stimulus the rescheduling loop reacts to; these
+properties pin the schedule algebra the executor and the zero-drift
+byte-identity guarantee rely on: factors are 1.0 before onset, step
+events are flat, ramp events are monotone and saturate at the cap,
+events on one node compose multiplicatively, and empty schedules
+collapse to ``None`` so the executor's hot path stays a single
+``is None`` test.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reschedule.drift import (
+    DEFAULT_DRIFT_STAGES,
+    DriftEvent,
+    DriftKind,
+    DriftSchedule,
+    RandomDriftModel,
+    StaticDriftModel,
+    coerce_drift,
+)
+from repro.util.errors import ValidationError
+
+
+@st.composite
+def drift_events(draw, max_node=3, max_start=8):
+    """A valid :class:`DriftEvent` honouring the per-kind envelopes."""
+    kind = draw(st.sampled_from(list(DriftKind)))
+    if kind is DriftKind.STEP:
+        magnitude = draw(
+            st.floats(
+                min_value=1.0,
+                max_value=5.0,
+                exclude_min=True,
+                allow_nan=False,
+            )
+        )
+    else:
+        magnitude = draw(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+        )
+    return DriftEvent(
+        node=draw(st.integers(min_value=0, max_value=max_node)),
+        kind=kind,
+        start_step=draw(st.integers(min_value=0, max_value=max_start)),
+        magnitude=magnitude,
+        cap=draw(st.floats(min_value=1.0, max_value=6.0, allow_nan=False)),
+    )
+
+
+@st.composite
+def drift_schedules(draw, max_events=5):
+    events = draw(st.lists(drift_events(), min_size=0, max_size=max_events))
+    return DriftSchedule(events)
+
+
+class TestEventEnvelope:
+    @given(drift_events())
+    @settings(max_examples=200)
+    def test_unit_factor_before_onset(self, event):
+        for step in range(event.start_step):
+            assert event.factor_at(step) == 1.0
+
+    @given(drift_events(), st.integers(min_value=0, max_value=40))
+    @settings(max_examples=200)
+    def test_factor_never_exceeds_cap(self, event, step):
+        assert 1.0 <= event.factor_at(step) <= max(event.cap, 1.0)
+
+    @given(drift_events())
+    @settings(max_examples=200)
+    def test_step_kind_is_flat_after_onset(self, event):
+        if event.kind is not DriftKind.STEP:
+            return
+        expected = min(event.magnitude, event.cap)
+        values = {
+            event.factor_at(step)
+            for step in range(event.start_step, event.start_step + 10)
+        }
+        assert values == {expected}
+
+    @given(drift_events())
+    @settings(max_examples=200)
+    def test_ramp_is_monotone_and_saturates(self, event):
+        if event.kind is not DriftKind.RAMP:
+            return
+        factors = [
+            event.factor_at(step)
+            for step in range(event.start_step, event.start_step + 50)
+        ]
+        assert factors == sorted(factors)
+        # with a per-step increment > 0 a long enough ramp must hit the cap
+        horizon = event.start_step + int(event.cap / event.magnitude) + 2
+        assert event.factor_at(horizon) == event.cap
+
+    def test_validation_rejects_bad_magnitudes(self):
+        with pytest.raises(ValidationError):
+            DriftEvent(0, DriftKind.STEP, 0, 1.0)  # factor must be > 1
+        with pytest.raises(ValidationError):
+            DriftEvent(0, DriftKind.RAMP, 0, 0.0)  # increment must be > 0
+        with pytest.raises(ValidationError):
+            DriftEvent(-1, DriftKind.STEP, 0, 2.0)
+        with pytest.raises(ValidationError):
+            DriftEvent(0, DriftKind.STEP, -1, 2.0)
+        with pytest.raises(ValidationError):
+            DriftEvent(0, DriftKind.STEP, 0, 2.0, cap=0.5)
+        with pytest.raises(ValidationError):
+            DriftEvent(0, DriftKind.STEP, 0, 2.0, stages=("X",))
+
+
+class TestScheduleAlgebra:
+    @given(drift_schedules(), st.integers(min_value=0, max_value=12))
+    @settings(max_examples=150)
+    def test_factor_composes_multiplicatively_per_node(self, schedule, step):
+        for node in range(5):
+            expected = 1.0
+            for event in schedule.events:
+                if event.node == node and "S" in event.stages:
+                    expected *= event.factor_at(step)
+            assert schedule.factor(node, "S", step) == pytest.approx(
+                expected
+            )
+
+    @given(drift_schedules())
+    @settings(max_examples=100)
+    def test_events_sorted_by_node_then_onset(self, schedule):
+        keys = [(e.node, e.start_step) for e in schedule.events]
+        assert keys == sorted(keys)
+
+    def test_stage_filter_applies(self):
+        event = DriftEvent(0, DriftKind.STEP, 0, 2.0, stages=("S",))
+        schedule = DriftSchedule([event])
+        assert schedule.factor(0, "S", 0) == 2.0
+        assert schedule.factor(0, "A", 0) == 1.0  # not targeted
+        assert schedule.factor(1, "S", 0) == 1.0  # other node
+
+    def test_default_stages_are_compute(self):
+        assert DEFAULT_DRIFT_STAGES == ("S", "A")
+
+
+class TestCoercion:
+    def test_none_and_empty_collapse_to_none(self):
+        assert coerce_drift(None, 4, 8) is None
+        assert coerce_drift(DriftSchedule(), 4, 8) is None
+        assert coerce_drift(StaticDriftModel(()), 4, 8) is None
+        assert coerce_drift(RandomDriftModel(rate=0.0), 4, 8) is None
+
+    def test_schedule_passes_through(self):
+        schedule = DriftSchedule([DriftEvent(0, DriftKind.STEP, 0, 2.0)])
+        assert coerce_drift(schedule, 4, 8) is schedule
+
+    def test_static_model_validates_geometry(self):
+        model = StaticDriftModel(
+            (DriftEvent(5, DriftKind.STEP, 0, 2.0),)
+        )
+        with pytest.raises(ValidationError):
+            coerce_drift(model, 4, 8)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValidationError):
+            coerce_drift(object(), 4, 8)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=50)
+    def test_random_model_is_seed_deterministic(self, seed):
+        first = RandomDriftModel(rate=0.5, seed=seed).build_schedule(6, 8)
+        second = RandomDriftModel(rate=0.5, seed=seed).build_schedule(6, 8)
+        assert [repr(e) for e in first.events] == [
+            repr(e) for e in second.events
+        ]

@@ -1,0 +1,197 @@
+"""The unified :class:`PlanningContext` is float-exact vs legacy kwargs.
+
+The API redesign's contract: every planning entry point accepts one
+immutable context object, produces *bit-identical* floats to the
+legacy keyword spelling, and mixing the two warns ``DeprecationWarning``
+with the explicit keywords winning. The differential oracle grew a
+dedicated ``legacy-vs-context`` tier at tolerance 0.0; the mutant test
+here proves that tier has teeth.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.faults.recovery import RetryBackoffPolicy
+from repro.platform.specs import make_cori_like_cluster
+from repro.scheduler import PlanningContext
+from repro.scheduler.context import _coerce_context
+from repro.scheduler.objectives import score_placement
+from repro.scheduler.planner import ResourceConstrainedPlanner
+from repro.scheduler.robust import (
+    crash_straggler_factory,
+    rank_placements_robust,
+)
+from repro.search.cache import StageCache
+from repro.search.engine import find_best_placement
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec, default_member
+from repro.verify.oracles import DEFAULT_TOLERANCES, run_differential_oracle
+
+
+def _spec(n_members: int = 2, n_steps: int = 4) -> EnsembleSpec:
+    return EnsembleSpec(
+        "ctx",
+        tuple(
+            default_member(f"em{i}", num_analyses=1, n_steps=n_steps)
+            for i in range(n_members)
+        ),
+    )
+
+
+def _placement(n_members: int = 2) -> EnsemblePlacement:
+    return EnsemblePlacement(
+        2, tuple(MemberPlacement(i % 2, (i % 2,)) for i in range(n_members))
+    )
+
+
+class TestContextObject:
+    def test_defaults(self):
+        ctx = PlanningContext()
+        assert ctx.cluster is None and ctx.dtl is None
+        assert ctx.robustness is None and ctx.cache is None
+        assert not ctx.parallel and not ctx.vectorized
+        assert ctx.processes is None and ctx.chunk_size == 8192
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PlanningContext().parallel = True
+
+    def test_evolve_returns_modified_copy(self):
+        base = PlanningContext()
+        derived = base.evolve(vectorized=True, chunk_size=1024)
+        assert derived.vectorized and derived.chunk_size == 1024
+        assert not base.vectorized and base.chunk_size == 8192
+
+
+class TestCoercion:
+    def test_legacy_only_packs_fields(self):
+        cluster = make_cori_like_cluster(2)
+        merged = _coerce_context(None, "test", cluster=cluster, parallel=True)
+        assert merged.cluster is cluster
+        assert merged.parallel
+
+    def test_context_only_passes_through(self):
+        ctx = PlanningContext(vectorized=True)
+        assert _coerce_context(ctx, "test") is ctx
+
+    def test_mixed_use_warns_and_legacy_wins(self):
+        ctx = PlanningContext(parallel=False, chunk_size=8192)
+        with pytest.warns(DeprecationWarning, match="test"):
+            merged = _coerce_context(ctx, "test", parallel=True)
+        assert merged.parallel
+
+
+class TestFloatExactEquivalence:
+    def test_score_placement(self):
+        spec, placement = _spec(), _placement()
+        cluster = make_cori_like_cluster(2)
+        legacy = score_placement(spec, placement, cluster=cluster)
+        via_context = score_placement(
+            spec, placement, context=PlanningContext(cluster=cluster)
+        )
+        assert via_context.objective == legacy.objective
+        assert via_context.ensemble_makespan == legacy.ensemble_makespan
+        assert via_context.member_indicators == legacy.member_indicators
+
+    def test_find_best_placement(self):
+        spec = _spec()
+        legacy_best, legacy_n = find_best_placement(spec, 2, 32)
+        ctx_best, ctx_n = find_best_placement(
+            spec, 2, 32, context=PlanningContext()
+        )
+        assert ctx_best == legacy_best
+        assert ctx_best.objective == legacy_best.objective
+        assert ctx_n == legacy_n
+
+    def test_find_best_placement_with_shared_cache(self):
+        spec = _spec()
+        cache = StageCache(None, None)
+        legacy_best, _ = find_best_placement(spec, 2, 32, cache=cache)
+        ctx_best, _ = find_best_placement(
+            spec, 2, 32, context=PlanningContext(cache=cache)
+        )
+        assert ctx_best.objective == legacy_best.objective
+
+    def test_planner(self):
+        spec = _spec()
+        legacy = ResourceConstrainedPlanner().plan(spec, num_nodes=2)
+        via_context = ResourceConstrainedPlanner(
+            context=PlanningContext()
+        ).plan(spec, num_nodes=2)
+        assert via_context.placement == legacy.placement
+        assert (
+            via_context.score.objective == legacy.score.objective
+        )
+
+    def test_rank_placements_robust_surrogate(self):
+        spec = _spec()
+        candidates = {
+            "packed": _placement(),
+            "spread": EnsemblePlacement(
+                2,
+                (MemberPlacement(0, (1,)), MemberPlacement(1, (0,))),
+            ),
+        }
+        kwargs = dict(
+            model_factory=crash_straggler_factory(0.05),
+            policy=RetryBackoffPolicy(),
+            method="surrogate",
+        )
+        legacy = rank_placements_robust(spec, candidates, **kwargs)
+        via_context = rank_placements_robust(
+            spec, candidates, context=PlanningContext(), **kwargs
+        )
+        assert [s.name for s in via_context] == [s.name for s in legacy]
+        assert [s.objective for s in via_context] == [
+            s.objective for s in legacy
+        ]
+
+    def test_mixed_use_warns_at_entry_points(self):
+        spec, placement = _spec(), _placement()
+        cluster = make_cori_like_cluster(2)
+        with pytest.warns(DeprecationWarning):
+            score_placement(
+                spec,
+                placement,
+                cluster=cluster,
+                context=PlanningContext(),
+            )
+
+
+class TestOracleContextTier:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_differential_oracle(
+            _spec(n_members=1), _placement(n_members=1), scenario="ctx"
+        )
+
+    def test_tier_present_and_exact(self, report):
+        assert DEFAULT_TOLERANCES["context"] == 0.0
+        checks = [c for c in report.checks if c.paths == "legacy-vs-context"]
+        assert checks  # objective + makespan + per-member indicators
+        assert all(c.tolerance == 0.0 for c in checks)
+        assert all(c.reference == c.candidate for c in checks)
+        assert report.passed, report.to_text(verbose=True)
+
+    def test_mutant_context_scorer_is_caught(self):
+        """A context path that drifts by one ulp-scale factor must
+        fail the report — tolerance 0.0 admits only identity."""
+
+        def mutant(spec, placement, context=None):
+            score = score_placement(spec, placement, context=context)
+            return dataclasses.replace(
+                score, objective=score.objective * (1.0 + 1e-12)
+            )
+
+        report = run_differential_oracle(
+            _spec(n_members=1),
+            _placement(n_members=1),
+            scenario="ctx-mutant",
+            context_score_fn=mutant,
+        )
+        assert not report.passed
+        failed = [c for c in report.checks if not c.ok]
+        assert failed
+        assert all(c.paths == "legacy-vs-context" for c in failed)

@@ -1,0 +1,131 @@
+"""The engine's vectorized/scalar routing is observable, not silent.
+
+``find_best_placement(vectorized=True)`` may legitimately run the
+scalar path — small canonical space, robustness term, parallel pool,
+unvectorizable context. Each of those decisions is now recorded:
+:func:`last_search_routing` carries the structured reason for the most
+recent search and :func:`search_counters` tallies requests, uses, and
+fallbacks process-wide. These tests pin the exact reason strings the
+service stats and the benchmarks surface.
+"""
+
+import pytest
+
+import repro.search.vectorized as vectorized_mod
+from repro.faults.analytic import RobustnessTerm
+from repro.faults.models import RandomFailureModel
+from repro.faults.recovery import RetryBackoffPolicy
+from repro.runtime.spec import EnsembleSpec, default_member
+from repro.search.engine import (
+    find_best_placement,
+    last_search_routing,
+    reset_search_counters,
+    search_counters,
+)
+from repro.search.vectorized import VectorizedUnsupported
+
+
+@pytest.fixture(autouse=True)
+def _clean_counters():
+    reset_search_counters()
+    yield
+    reset_search_counters()
+
+
+def _spec(n_members: int = 2) -> EnsembleSpec:
+    return EnsembleSpec(
+        "route",
+        tuple(
+            default_member(f"em{i}", num_analyses=1, n_steps=4)
+            for i in range(n_members)
+        ),
+    )
+
+
+class TestScalarOnly:
+    def test_unrequested_search_records_nothing_vectorized(self):
+        find_best_placement(_spec(), 2, 32)
+        routing = last_search_routing()
+        assert routing == {
+            "vectorized_requested": False,
+            "vectorized_used": False,
+            "fallback_reason": None,
+        }
+        counters = search_counters()
+        assert counters["searches"] == 1
+        assert counters["vectorized_requested"] == 0
+        assert counters["vectorized_fallbacks"] == 0
+
+
+class TestFallbackReasons:
+    def test_below_threshold(self):
+        find_best_placement(_spec(), 2, 32, vectorized=True)
+        routing = last_search_routing()
+        assert routing["vectorized_requested"]
+        assert not routing["vectorized_used"]
+        assert routing["fallback_reason"].startswith(
+            "canonical space below threshold ("
+        )
+        assert "candidates)" in routing["fallback_reason"]
+        counters = search_counters()
+        assert counters["vectorized_requested"] == 1
+        assert counters["vectorized_fallbacks"] == 1
+        assert counters["vectorized_used"] == 0
+
+    def test_robustness_term_present(self):
+        term = RobustnessTerm(
+            policy=RetryBackoffPolicy(), model=RandomFailureModel(rate=0.05)
+        )
+        find_best_placement(_spec(), 2, 32, robustness=term, vectorized=True)
+        assert (
+            last_search_routing()["fallback_reason"]
+            == "robustness term present"
+        )
+
+    def test_parallel_engine_requested(self):
+        find_best_placement(
+            _spec(), 2, 32, parallel=True, processes=1, vectorized=True
+        )
+        assert (
+            last_search_routing()["fallback_reason"]
+            == "parallel engine requested"
+        )
+
+    def test_unvectorizable_context(self, monkeypatch):
+        def raise_unsupported(*args, **kwargs):
+            raise VectorizedUnsupported("custom component model")
+
+        monkeypatch.setattr(vectorized_mod, "MIN_VECTORIZED_CANDIDATES", 1)
+        monkeypatch.setattr(
+            vectorized_mod,
+            "find_best_placement_vectorized",
+            raise_unsupported,
+        )
+        find_best_placement(_spec(), 2, 32, vectorized=True)
+        assert (
+            last_search_routing()["fallback_reason"]
+            == "context not vectorizable: custom component model"
+        )
+        assert search_counters()["vectorized_fallbacks"] == 1
+
+
+class TestVectorizedUsed:
+    def test_success_path_recorded(self, monkeypatch):
+        monkeypatch.setattr(vectorized_mod, "MIN_VECTORIZED_CANDIDATES", 1)
+        scalar_best, scalar_n = find_best_placement(_spec(), 2, 32)
+        best, n = find_best_placement(_spec(), 2, 32, vectorized=True)
+        routing = last_search_routing()
+        assert routing["vectorized_used"]
+        assert routing["fallback_reason"] is None
+        assert best.objective == scalar_best.objective
+        assert n == scalar_n
+        counters = search_counters()
+        assert counters["vectorized_used"] == 1
+        assert counters["vectorized_fallbacks"] == 0
+
+    def test_counters_reset(self):
+        find_best_placement(_spec(), 2, 32)
+        assert search_counters()["searches"] == 1
+        reset_search_counters()
+        counters = search_counters()
+        assert all(value == 0 for value in counters.values())

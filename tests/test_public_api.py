@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.faults",
     "repro.monitoring",
     "repro.platform",
+    "repro.reschedule",
     "repro.runtime",
     "repro.scheduler",
     "repro.search",
