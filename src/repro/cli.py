@@ -530,6 +530,84 @@ def _cmd_reschedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_coschedule(args: argparse.Namespace) -> int:
+    from repro.coschedule import (
+        ClusterObjective,
+        CoScheduler,
+        canonical_mixed_deadline_stream,
+        fifo_exclusive_schedule,
+    )
+
+    stream = canonical_mixed_deadline_stream(
+        num_requests=args.requests,
+        arrival_spacing=args.spacing,
+    )
+    scheduler = CoScheduler(
+        total_nodes=args.nodes,
+        cores_per_node=args.cores,
+        objective=ClusterObjective(
+            utility_weight=args.utility_weight,
+            fairness_weight=args.fairness_weight,
+            deadline_weight=args.deadline_weight,
+        ),
+        robust_rate=args.robust_rate,
+        policy=args.policy,
+    )
+    result = scheduler.run(stream)
+    fifo = fifo_exclusive_schedule(stream, args.nodes, args.cores)
+    ratio = (
+        result.utilization / fifo.utilization
+        if fifo.utilization > 0
+        else float("inf")
+    )
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "coschedule": result.to_dict(),
+                    "fifo": fifo.to_dict(),
+                    "utilization_ratio": ratio,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"co-scheduled {args.requests} ensembles on {args.nodes} x "
+        f"{args.cores} cores:"
+    )
+    for decision in result.decisions:
+        print(
+            f"  [{decision.time:9.2f}s] {decision.request:<8} "
+            f"{decision.action.value:<7} {decision.reason}"
+        )
+    print()
+    for completion in result.completions:
+        met = (
+            "-"
+            if completion.met_deadline is None
+            else ("yes" if completion.met_deadline else "NO")
+        )
+        print(
+            f"  {completion.name:<8} finished {completion.finished_at:10.2f}s "
+            f"on {completion.nodes_granted} nodes "
+            f"(deadline met: {met}, migrations: {completion.migrations})"
+        )
+    print()
+    print(
+        f"  makespan     co {result.makespan:10.2f}s   "
+        f"fifo {fifo.makespan:10.2f}s"
+    )
+    print(
+        f"  utilization  co {result.utilization:10.1%}   "
+        f"fifo {fifo.utilization:10.1%}   (x{ratio:.2f})"
+    )
+    print(f"  schedule digest {result.digest()[:16]}")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     import json
 
@@ -751,6 +829,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the comparison as JSON",
     )
     p_resched.set_defaults(func=_cmd_reschedule)
+
+    p_cosched = sub.add_parser(
+        "coschedule",
+        help="co-schedule a stream of ensembles on one shared cluster",
+    )
+    p_cosched.add_argument(
+        "--requests", type=int, default=4,
+        help="number of ensembles in the canonical mixed-deadline stream",
+    )
+    p_cosched.add_argument(
+        "--spacing", type=float, default=30.0,
+        help="arrival spacing in seconds",
+    )
+    p_cosched.add_argument(
+        "--nodes", type=int, default=6, help="cluster size in nodes"
+    )
+    p_cosched.add_argument("--cores", type=int, default=32)
+    p_cosched.add_argument(
+        "--utility-weight", type=float, default=1.0,
+        help="weight on the priority-weighted sum of per-ensemble F(P)",
+    )
+    p_cosched.add_argument(
+        "--fairness-weight", type=float, default=0.0,
+        help="weight on the max-min (worst per-ensemble utility) term",
+    )
+    p_cosched.add_argument(
+        "--deadline-weight", type=float, default=0.0,
+        help="penalty weight per second of predicted deadline overrun",
+    )
+    p_cosched.add_argument(
+        "--robust-rate", type=float, default=0.0,
+        help="node-crash rate for the admission deadline probe",
+    )
+    p_cosched.add_argument(
+        "--policy", choices=list(POLICY_NAMES), default="retry"
+    )
+    p_cosched.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full schedule and FIFO baseline as JSON",
+    )
+    p_cosched.set_defaults(func=_cmd_coschedule)
 
     p_verify = sub.add_parser(
         "verify",

@@ -21,6 +21,9 @@ orderings; ``EXPERIMENTS.md`` records paper-vs-measured per artifact.
   (contention model, data locality, progress tax).
 - :mod:`repro.experiments.resilience` — beyond the paper: robust F(P)
   rankings under fault injection (failure rates x recovery policies).
+- :mod:`repro.experiments.coschedule` — beyond the paper: co-scheduled
+  ensemble streams vs FIFO-exclusive provisioning across cluster
+  objectives.
 """
 
 from repro.experiments.base import (
@@ -40,6 +43,7 @@ from repro.experiments.ablation import (
     run_locality_ablation,
     run_tax_ablation,
 )
+from repro.experiments.coschedule import run_coschedule
 from repro.experiments.heterogeneous import run_heterogeneous
 from repro.experiments.resilience import (
     run_resilience,
@@ -54,6 +58,7 @@ __all__ = [
     "run_configuration",
     "run_configuration_trials",
     "run_contention_ablation",
+    "run_coschedule",
     "run_fig3",
     "run_fig4",
     "run_fig5",

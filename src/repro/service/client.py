@@ -135,6 +135,38 @@ class PlacementClient:
             priority=priority,
         )
 
+    def submit_coschedule(
+        self,
+        requests,
+        total_nodes: int,
+        cores_per_node: int = 32,
+        coschedule=None,
+        priority: int = 0,
+        **kwargs,
+    ) -> dict:
+        """Convenience: co-schedule an ensemble stream on one cluster.
+
+        ``requests`` is a sequence of
+        :class:`~repro.coschedule.requests.EnsembleRequest`; pass a
+        prebuilt :class:`~repro.service.schemas.CoscheduleOptions` as
+        ``coschedule`` to set objective weights (the stream inside it
+        wins over ``requests``).
+        """
+        from repro.service.schemas import CoscheduleOptions
+
+        options = coschedule or CoscheduleOptions(requests=tuple(requests))
+        return self.submit(
+            PlacementRequest(
+                kind="coschedule",
+                spec=options.requests[0].spec,
+                num_nodes=total_nodes,
+                cores_per_node=cores_per_node,
+                coschedule=options,
+                **kwargs,
+            ),
+            priority=priority,
+        )
+
     def job(self, job_id: str) -> dict:
         """GET one job snapshot (includes the result when done)."""
         return self._call("GET", f"/jobs/{job_id}")

@@ -37,6 +37,11 @@ from typing import Dict, Optional, Tuple
 from repro.components.analysis import EigenAnalysisModel
 from repro.components.base import ComponentModel
 from repro.components.simulation import MDSimulationModel
+from repro.coschedule.requests import (
+    EnsembleRequest,
+    MembershipEvent,
+    validate_stream,
+)
 from repro.faults.recovery import POLICY_NAMES
 from repro.platform.contention import WorkloadProfile
 from repro.runtime.placement import EnsemblePlacement, MemberPlacement
@@ -50,7 +55,13 @@ from repro.util.validation import require_positive_int
 SCHEMA_VERSION = 1
 
 #: Request kinds the service executes.
-REQUEST_KINDS: Tuple[str, ...] = ("search", "score", "rank", "reschedule")
+REQUEST_KINDS: Tuple[str, ...] = (
+    "search",
+    "score",
+    "rank",
+    "reschedule",
+    "coschedule",
+)
 
 _PROFILE_FIELDS = (
     "working_set_bytes",
@@ -139,33 +150,39 @@ def component_from_dict(payload: dict) -> ComponentModel:
     raise ValidationError(f"unknown component type {kind!r} in payload")
 
 
+def member_to_dict(member: MemberSpec) -> dict:
+    """Serialize one :class:`MemberSpec` (content-complete)."""
+    return {
+        "name": member.name,
+        "n_steps": member.n_steps,
+        "simulation": component_to_dict(member.simulation),
+        "analyses": [component_to_dict(a) for a in member.analyses],
+    }
+
+
+def member_from_dict(payload: dict) -> MemberSpec:
+    """Rebuild one :class:`MemberSpec` from its wire dict."""
+    return MemberSpec(
+        name=payload["name"],
+        simulation=component_from_dict(payload["simulation"]),
+        analyses=tuple(
+            component_from_dict(a) for a in payload["analyses"]
+        ),
+        n_steps=payload["n_steps"],
+    )
+
+
 def spec_to_dict(spec: EnsembleSpec) -> dict:
     """Serialize an :class:`EnsembleSpec` (content-complete)."""
     return {
         "name": spec.name,
-        "members": [
-            {
-                "name": m.name,
-                "n_steps": m.n_steps,
-                "simulation": component_to_dict(m.simulation),
-                "analyses": [component_to_dict(a) for a in m.analyses],
-            }
-            for m in spec.members
-        ],
+        "members": [member_to_dict(m) for m in spec.members],
     }
 
 
 def spec_from_dict(payload: dict) -> EnsembleSpec:
     """Rebuild an :class:`EnsembleSpec`; validation reruns on build."""
-    members = tuple(
-        MemberSpec(
-            name=m["name"],
-            simulation=component_from_dict(m["simulation"]),
-            analyses=tuple(component_from_dict(a) for a in m["analyses"]),
-            n_steps=m["n_steps"],
-        )
-        for m in payload["members"]
-    )
+    members = tuple(member_from_dict(m) for m in payload["members"])
     return EnsembleSpec(payload["name"], members)
 
 
@@ -322,6 +339,133 @@ def reschedule_options_from_dict(payload: dict) -> RescheduleOptions:
     )
 
 
+# -- coschedule options ------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class CoscheduleOptions:
+    """Stream + cluster objective for a ``coschedule`` request.
+
+    ``requests`` is the full ensemble stream (the enclosing
+    :class:`PlacementRequest`'s ``spec`` must equal the first stream
+    entry's spec, and ``num_nodes`` is the cluster size). The three
+    weights configure the :class:`~repro.coschedule.allocator
+    .ClusterObjective`; ``max_partitions`` bounds the allocator's
+    exhaustive grant-lattice before it falls back to greedy
+    water-filling.
+    """
+
+    requests: Tuple["EnsembleRequest", ...]
+    utility_weight: float = 1.0
+    fairness_weight: float = 0.0
+    deadline_weight: float = 0.0
+    max_partitions: int = 20_000
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValidationError(
+                "a coschedule request needs at least one stream entry"
+            )
+        validate_stream(self.requests)
+        for label in ("utility_weight", "fairness_weight", "deadline_weight"):
+            value = getattr(self, label)
+            if value < 0:
+                raise ValidationError(
+                    f"{label} must be >= 0, got {value!r}"
+                )
+        if (
+            self.utility_weight == 0
+            and self.fairness_weight == 0
+            and self.deadline_weight == 0
+        ):
+            raise ValidationError(
+                "at least one cluster objective weight must be positive"
+            )
+        require_positive_int("max_partitions", self.max_partitions)
+
+
+def membership_event_to_dict(event: MembershipEvent) -> dict:
+    payload = {
+        "offset": event.offset,
+        "action": event.action,
+        "member_name": event.member_name,
+    }
+    if event.member is not None:
+        payload["member"] = member_to_dict(event.member)
+    return payload
+
+
+def membership_event_from_dict(payload: dict) -> MembershipEvent:
+    member = payload.get("member")
+    return MembershipEvent(
+        offset=payload["offset"],
+        action=payload["action"],
+        member_name=payload["member_name"],
+        member=member_from_dict(member) if member is not None else None,
+    )
+
+
+def ensemble_request_to_dict(request: "EnsembleRequest") -> dict:
+    """Serialize one stream entry (optional fields only when set)."""
+    payload = {
+        "name": request.name,
+        "spec": spec_to_dict(request.spec),
+        "arrival_time": request.arrival_time,
+        "priority": request.priority,
+        "min_nodes": request.min_nodes,
+    }
+    if request.deadline is not None:
+        payload["deadline"] = request.deadline
+    if request.max_nodes is not None:
+        payload["max_nodes"] = request.max_nodes
+    if request.membership:
+        payload["membership"] = [
+            membership_event_to_dict(e) for e in request.membership
+        ]
+    return payload
+
+
+def ensemble_request_from_dict(payload: dict) -> "EnsembleRequest":
+    from repro.coschedule.requests import EnsembleRequest
+
+    return EnsembleRequest(
+        name=payload["name"],
+        spec=spec_from_dict(payload["spec"]),
+        arrival_time=payload.get("arrival_time", 0.0),
+        deadline=payload.get("deadline"),
+        priority=payload.get("priority", 0),
+        min_nodes=payload.get("min_nodes", 1),
+        max_nodes=payload.get("max_nodes"),
+        membership=tuple(
+            membership_event_from_dict(e)
+            for e in payload.get("membership", [])
+        ),
+    )
+
+
+def coschedule_options_to_dict(options: CoscheduleOptions) -> dict:
+    """Serialize the full options record (attached only when present)."""
+    return {
+        "requests": [
+            ensemble_request_to_dict(r) for r in options.requests
+        ],
+        "utility_weight": options.utility_weight,
+        "fairness_weight": options.fairness_weight,
+        "deadline_weight": options.deadline_weight,
+        "max_partitions": options.max_partitions,
+    }
+
+
+def coschedule_options_from_dict(payload: dict) -> CoscheduleOptions:
+    return CoscheduleOptions(
+        requests=tuple(
+            ensemble_request_from_dict(r) for r in payload["requests"]
+        ),
+        utility_weight=payload.get("utility_weight", 1.0),
+        fairness_weight=payload.get("fairness_weight", 0.0),
+        deadline_weight=payload.get("deadline_weight", 0.0),
+        max_partitions=payload.get("max_partitions", 20_000),
+    )
+
+
 # -- requests ----------------------------------------------------------------
 @dataclasses.dataclass(frozen=True)
 class PlacementRequest:
@@ -346,6 +490,13 @@ class PlacementRequest:
       (:class:`RescheduleOptions`): once statically and once with the
       online rescheduling controller attached, returning both
       makespans, the relative improvement, and the migration log.
+    - ``"coschedule"`` — run the ensemble stream in ``coschedule``
+      (:class:`CoscheduleOptions`) through the cluster-level
+      co-scheduler (:class:`~repro.coschedule.loop.CoScheduler`) on a
+      ``num_nodes``-node cluster, returning admission decisions,
+      completions, the event timeline, and utilization. ``spec`` must
+      equal the first stream entry's spec (it keys the digest the
+      same way every other kind does).
 
     A positive ``robust_rate`` prices failures into search/score
     requests through a node-crash
@@ -368,6 +519,7 @@ class PlacementRequest:
     rank_method: str = "surrogate"
     trials: int = 3
     reschedule: Optional[RescheduleOptions] = None
+    coschedule: Optional[CoscheduleOptions] = None
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
@@ -387,6 +539,18 @@ class PlacementRequest:
             raise ValidationError(
                 "a 'rank' request needs at least one named candidate"
             )
+        if self.kind == "coschedule":
+            if self.coschedule is None:
+                raise ValidationError(
+                    "a 'coschedule' request needs a stream in coschedule"
+                )
+            first = self.coschedule.requests[0]
+            if spec_to_dict(first.spec) != spec_to_dict(self.spec):
+                raise ValidationError(
+                    "a 'coschedule' request's spec must equal the first "
+                    f"stream entry's spec (got {self.spec.name!r} vs "
+                    f"{first.spec.name!r})"
+                )
         if self.robust_rate < 0:
             raise ValidationError(
                 f"robust_rate must be >= 0, got {self.robust_rate!r}"
@@ -434,6 +598,10 @@ def request_to_dict(request: PlacementRequest) -> dict:
         payload["reschedule"] = reschedule_options_to_dict(
             request.reschedule
         )
+    if request.coschedule is not None:
+        payload["coschedule"] = coschedule_options_to_dict(
+            request.coschedule
+        )
     return payload
 
 
@@ -469,6 +637,11 @@ def request_from_dict(payload: dict) -> PlacementRequest:
         reschedule=(
             reschedule_options_from_dict(payload["reschedule"])
             if "reschedule" in payload
+            else None
+        ),
+        coschedule=(
+            coschedule_options_from_dict(payload["coschedule"])
+            if "coschedule" in payload
             else None
         ),
     )

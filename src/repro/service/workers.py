@@ -133,6 +133,46 @@ def _execute_reschedule(request: PlacementRequest) -> dict:
     }
 
 
+def _execute_coschedule(
+    request: PlacementRequest,
+    stage_cache: Optional[StageCache] = None,
+) -> dict:
+    """Run the request's ensemble stream through the co-scheduler.
+
+    The co-scheduler is deterministic by construction (event ranks,
+    first-optimum-wins allocation, canonical digests), so the payload
+    — including its content digest — is identical on any worker.
+    """
+    from repro.coschedule import ClusterObjective, CoScheduler
+
+    options = request.coschedule
+    if options is None:  # pragma: no cover - guarded by __post_init__
+        raise ValidationError("coschedule request without options")
+
+    scheduler = CoScheduler(
+        total_nodes=request.num_nodes,
+        cores_per_node=request.cores_per_node,
+        objective=ClusterObjective(
+            utility_weight=options.utility_weight,
+            fairness_weight=options.fairness_weight,
+            deadline_weight=options.deadline_weight,
+        ),
+        context=PlanningContext(
+            robustness=None,
+            cache=stage_cache,
+        ),
+        robust_rate=request.robust_rate,
+        policy=request.policy,
+        max_partitions=options.max_partitions,
+    )
+    result = scheduler.run(options.requests)
+    return {
+        "coschedule": result.to_dict(),
+        "digest": result.digest(),
+        "decisions_digest": result.decisions_digest(),
+    }
+
+
 def execute_request(
     request: PlacementRequest,
     stage_cache: Optional[StageCache] = None,
@@ -146,6 +186,9 @@ def execute_request(
     - ``rank``       -> ``{"ranking": [...]}`` (best first)
     - ``reschedule`` -> static vs rescheduled DES makespans under the
       request's drift scenario, plus the migration log.
+    - ``coschedule`` -> the full co-schedule of the request's stream
+      (decisions, completions, timeline, utilization) plus its
+      content digests.
 
     A shared ``stage_cache`` only memoizes — payloads are bit-identical
     with or without it. Scoring and search calls route through one
@@ -177,6 +220,8 @@ def execute_request(
         return {"score": score_to_dict(score)}
     if request.kind == "reschedule":
         return _execute_reschedule(request)
+    if request.kind == "coschedule":
+        return _execute_coschedule(request, stage_cache=stage_cache)
     if request.kind == "rank":
         if request.rank_method == "des":
             # full injected trials, replayed by the batched engine:
@@ -241,7 +286,10 @@ class PlacementService:
                 f"max_retries must be >= 0, got {max_retries!r}"
             )
         self.queue = PlacementJobQueue()
-        self.result_cache = result_cache or ResultCache()
+        # `or` would discard an *empty* caller cache (len 0 is falsy)
+        self.result_cache = (
+            result_cache if result_cache is not None else ResultCache()
+        )
         self.num_workers = workers
         self.job_timeout = job_timeout
         self.max_retries = max_retries
@@ -402,6 +450,7 @@ class PlacementService:
 
     def stats(self) -> dict:
         """The ``GET /stats`` payload: queue, caches, pool, engines."""
+        from repro.coschedule import coschedule_counters
         from repro.faults.batched import engine_counters
         from repro.reschedule import reschedule_counters
         from repro.search.engine import last_search_routing, search_counters
@@ -419,4 +468,5 @@ class PlacementService:
                 "last_routing": last_search_routing(),
             },
             "reschedule": reschedule_counters(),
+            "coschedule": coschedule_counters(),
         }

@@ -90,6 +90,10 @@ DEFAULT_TOLERANCES: Dict[str, float] = {
     # ...and banded for the adaptive policy, whose budget drains in
     # global event order the per-member replay can only approximate
     "batched_adaptive": 0.05,
+    # tier 0: a one-ensemble stream through the cluster co-scheduler
+    # vs calling find_best_placement directly — the complete-partition
+    # rule makes the degeneration float-identical
+    "coschedule": 0.0,
 }
 
 
@@ -282,6 +286,18 @@ def _service_checks(
     return checks
 
 
+def _default_coschedule_score(
+    spec: EnsembleSpec, total_nodes: int, cores_per_node: int
+):
+    """Winning score of a one-ensemble stream through the co-scheduler."""
+    from repro.coschedule import CoScheduler, EnsembleRequest
+
+    result = CoScheduler(
+        total_nodes=total_nodes, cores_per_node=cores_per_node
+    ).run([EnsembleRequest(name=spec.name, spec=spec)])
+    return result.completions[0].score
+
+
 def run_differential_oracle(
     spec: EnsembleSpec,
     placement: EnsemblePlacement,
@@ -299,6 +315,7 @@ def run_differential_oracle(
     fault_factory: Optional[Callable[[int], FailureModel]] = None,
     batched_score_fn: Optional[Callable] = None,
     context_score_fn: Optional[Callable] = None,
+    coschedule_fn: Optional[Callable] = None,
 ) -> DivergenceReport:
     """Run one scenario through every evaluation path; report agreement.
 
@@ -356,6 +373,17 @@ def run_differential_oracle(
         Compared *exactly* (tier 0) against the legacy-keyword call —
         the two spellings are pure plumbing around the same floats.
         Same mutation hook as ``predictor``.
+    coschedule_fn:
+        ``(spec, total_nodes, cores_per_node) -> PlacementScore``
+        producing the winning score of a one-ensemble stream through
+        the cluster co-scheduler; defaults to running
+        :class:`~repro.coschedule.loop.CoScheduler`. Compared *exactly*
+        (tier 0) against a direct
+        :func:`~repro.search.engine.find_best_placement` call on the
+        same cluster — the complete-partition rule guarantees the
+        degeneration is float-identical. Only runs on the default
+        platform context (the co-scheduler's own default). Same
+        mutation hook as ``predictor``.
 
     Returns
     -------
@@ -607,6 +635,67 @@ def run_differential_oracle(
             tolerance=tol["objective"],
         )
     )
+
+    # -- tier 0: the co-scheduler's one-ensemble degeneration --------------
+    # a single-request stream must allocate the whole cluster to its
+    # one resident and therefore reproduce find_best_placement's
+    # winner float-for-float (only meaningful on the default context,
+    # which is all the co-scheduler's admission/allocator paths use)
+    if cluster is None and dtl is None:
+        from repro.search.engine import find_best_placement
+
+        cosched = coschedule_fn or _default_coschedule_score
+        direct, _ = find_best_placement(
+            spec, placement.num_nodes, 32, cache=cache
+        )
+        co_score = cosched(spec, placement.num_nodes, 32)
+        checks.append(
+            MetricCheck(
+                scope="ensemble",
+                metric="objective",
+                paths="search-vs-coschedule",
+                reference=direct.objective,
+                candidate=co_score.objective,
+                tolerance=tol["coschedule"],
+            )
+        )
+        checks.append(
+            MetricCheck(
+                scope="ensemble",
+                metric="makespan",
+                paths="search-vs-coschedule",
+                reference=direct.ensemble_makespan,
+                candidate=co_score.ensemble_makespan,
+                tolerance=tol["coschedule"],
+            )
+        )
+        checks.append(
+            MetricCheck(
+                scope="ensemble",
+                metric="same_placement",
+                paths="search-vs-coschedule",
+                reference=1.0,
+                candidate=(
+                    1.0 if co_score.placement == direct.placement else 0.0
+                ),
+                tolerance=tol["coschedule"],
+            )
+        )
+        for member, ref_i, cand_i in zip(
+            spec.members,
+            direct.member_indicators,
+            co_score.member_indicators,
+        ):
+            checks.append(
+                MetricCheck(
+                    scope=member.name,
+                    metric="indicator",
+                    paths="search-vs-coschedule",
+                    reference=ref_i,
+                    candidate=cand_i,
+                    tolerance=tol["coschedule"],
+                )
+            )
 
     # -- tier 0/2: the fault surrogate ------------------------------------
     from repro.faults.analytic import surrogate_resilience

@@ -1,0 +1,1 @@
+"""Cluster-level co-scheduling: property and behavior suites."""

@@ -1,0 +1,194 @@
+"""Allocator properties: conservation, completeness, fairness bounds."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.coschedule.allocator import (
+    ClusterAllocator,
+    ClusterObjective,
+    ResidentWorkload,
+)
+from repro.runtime.spec import EnsembleSpec, default_member
+from repro.util.errors import PlacementError, ValidationError
+from tests.strategies import ensemble_stream
+
+loop_settings = settings(max_examples=8, deadline=None)
+
+
+def _spec(name, members=1):
+    return EnsembleSpec(
+        name,
+        tuple(
+            default_member(
+                f"{name}-m{i}", n_steps=4, sim_cores=16, ana_cores=8
+            )
+            for i in range(members)
+        ),
+    )
+
+
+def _workloads(stream):
+    return [
+        ResidentWorkload(
+            name=request.name,
+            spec=request.spec,
+            weight=request.weight,
+            deadline_at=request.deadline_at,
+            min_nodes=request.min_nodes,
+            max_nodes=request.max_nodes,
+        )
+        for request in stream
+    ]
+
+
+class TestClusterObjective:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValidationError, match="utility_weight"):
+            ClusterObjective(utility_weight=-1.0)
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValidationError, match="positive"):
+            ClusterObjective(
+                utility_weight=0.0,
+                fairness_weight=0.0,
+                deadline_weight=0.0,
+            )
+
+    def test_empty_entries_value_is_zero(self):
+        assert ClusterObjective().evaluate(()) == 0.0
+
+
+class TestAllocationConservation:
+    @given(stream=ensemble_stream(max_requests=3))
+    @loop_settings
+    def test_blocks_are_disjoint_and_partition_is_complete(self, stream):
+        total_nodes = 4
+        allocator = ClusterAllocator(total_nodes)
+        try:
+            allocation = allocator.allocate(_workloads(stream))
+        except PlacementError:
+            # over-committed streams (minimum footprints exceed the
+            # cluster) are the admission controller's job to keep out
+            return
+        # contiguous blocks never overlap and never leave the cluster
+        claimed = set()
+        for entry in allocation.entries:
+            block = set(
+                range(entry.node_offset, entry.node_offset + entry.num_nodes)
+            )
+            assert block.isdisjoint(claimed)
+            assert all(0 <= node < total_nodes for node in block)
+            claimed |= block
+        # the partition is complete up to the residents' combined cap
+        caps = sum(
+            min(total_nodes, r.max_nodes or total_nodes) for r in _workloads(stream)
+        )
+        assert allocation.nodes_used == min(total_nodes, caps)
+        # each physical placement stays inside its own block
+        for entry in allocation.entries:
+            physical = entry.physical_placement(total_nodes)
+            used = {
+                node for mp in physical.members for node in mp.used_nodes
+            }
+            assert used <= set(
+                range(entry.node_offset, entry.node_offset + entry.num_nodes)
+            )
+
+    @given(stream=ensemble_stream(max_requests=3))
+    @loop_settings
+    def test_allocation_is_deterministic(self, stream):
+        results = []
+        for _ in range(2):
+            allocator = ClusterAllocator(4)
+            try:
+                results.append(allocator.allocate(_workloads(stream)))
+            except PlacementError:
+                results.append(None)
+        assert (results[0] is None) == (results[1] is None)
+        if results[0] is not None:
+            assert results[0].to_dict() == results[1].to_dict()
+
+
+class TestFairnessBounds:
+    @given(stream=ensemble_stream(max_requests=3))
+    @loop_settings
+    def test_max_min_never_starves_a_resident(self, stream):
+        """Under the max-min objective every resident keeps a feasible
+        grant — at least its feasibility minimum, never zero nodes."""
+        allocator = ClusterAllocator(
+            4, objective=ClusterObjective(fairness_weight=1.0)
+        )
+        workloads = _workloads(stream)
+        try:
+            allocation = allocator.allocate(workloads)
+        except PlacementError:
+            return
+        assert len(allocation.entries) == len(workloads)
+        for workload, entry in zip(workloads, allocation.entries):
+            assert entry.name == workload.name
+            assert entry.num_nodes >= workload.min_nodes
+            assert entry.score.utility == entry.score.utility  # not NaN
+
+    def test_fairness_weight_can_change_the_partition(self):
+        """A big-priority resident hoards under the weighted sum; the
+        fairness term pulls the partition back toward the small one."""
+        residents = [
+            ResidentWorkload(name="big", spec=_spec("big", members=2), weight=9.0),
+            ResidentWorkload(name="small", spec=_spec("small"), weight=1.0),
+        ]
+        plain = ClusterAllocator(6).allocate(residents)
+        fair = ClusterAllocator(
+            6, objective=ClusterObjective(fairness_weight=50.0)
+        ).allocate(residents)
+        plain_min = min(e.score.utility for e in plain.entries)
+        fair_min = min(e.score.utility for e in fair.entries)
+        assert fair_min >= plain_min
+
+
+class TestGreedyFallback:
+    def test_greedy_matches_completeness_of_exhaustive(self):
+        residents = [
+            ResidentWorkload(name="a", spec=_spec("a")),
+            ResidentWorkload(name="b", spec=_spec("b")),
+        ]
+        exhaustive = ClusterAllocator(4).allocate(residents)
+        greedy = ClusterAllocator(4, max_partitions=1).allocate(residents)
+        assert exhaustive.exhaustive
+        assert not greedy.exhaustive
+        assert greedy.nodes_used == exhaustive.nodes_used == 4
+
+    def test_single_resident_greedy_takes_whole_cluster(self):
+        residents = [ResidentWorkload(name="solo", spec=_spec("solo"))]
+        greedy = ClusterAllocator(3, max_partitions=1).allocate(residents)
+        assert greedy.entries[0].num_nodes == 3
+
+
+class TestOverCommit:
+    def test_minimum_footprints_beyond_cluster_raise(self):
+        # three 2-member ensembles need >= 2 nodes each on 32 cores
+        residents = [
+            ResidentWorkload(name=f"r{i}", spec=_spec(f"r{i}", members=3))
+            for i in range(4)
+        ]
+        with pytest.raises(PlacementError, match="exceed"):
+            ClusterAllocator(4).allocate(residents)
+
+    def test_infeasible_resident_named_in_error(self):
+        residents = [
+            ResidentWorkload(
+                name="giant",
+                spec=EnsembleSpec(
+                    "giant",
+                    (
+                        default_member(
+                            "giant-m0",
+                            n_steps=4,
+                            sim_cores=64,
+                            ana_cores=64,
+                        ),
+                    ),
+                ),
+            )
+        ]
+        with pytest.raises(PlacementError, match="giant"):
+            ClusterAllocator(2, cores_per_node=8).allocate(residents)

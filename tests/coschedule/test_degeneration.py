@@ -1,0 +1,101 @@
+"""Single-ensemble degeneration: tier-0 float identity with the search.
+
+The complete-partition rule guarantees a one-ensemble stream hands its
+only resident the whole cluster, so the co-scheduler's winning score
+must be *float-identical* to calling ``find_best_placement`` directly —
+property-tested here and asserted at tolerance 0.0 by the differential
+oracle's ``search-vs-coschedule`` tier (whose teeth are proven by a
+mutated hook).
+"""
+
+import dataclasses
+
+from hypothesis import assume, given, settings
+
+from repro.configs.base import build_spec
+from repro.configs.table2 import TABLE2_CONFIGS
+from repro.coschedule import CoScheduler, EnsembleRequest
+from repro.search.engine import find_best_placement
+from repro.util.errors import PlacementError
+from repro.verify.oracles import run_differential_oracle
+from tests.strategies import search_grids
+
+loop_settings = settings(max_examples=10, deadline=None)
+
+
+class TestDegenerationProperty:
+    @given(grid=search_grids())
+    @loop_settings
+    def test_one_ensemble_stream_equals_direct_search(self, grid):
+        spec, num_nodes, cores_per_node = grid
+        try:
+            direct, _ = find_best_placement(spec, num_nodes, cores_per_node)
+        except PlacementError:
+            assume(False)
+        result = CoScheduler(
+            total_nodes=num_nodes, cores_per_node=cores_per_node
+        ).run([EnsembleRequest(name=spec.name, spec=spec)])
+        assert len(result.completions) == 1
+        score = result.completions[0].score
+        assert score.objective == direct.objective
+        assert score.ensemble_makespan == direct.ensemble_makespan
+        assert score.utility == direct.utility
+        assert score.member_indicators == direct.member_indicators
+        assert score.placement == direct.placement
+
+
+class TestOracleTier:
+    def test_oracle_coschedule_tier_passes_on_table2(self):
+        config = TABLE2_CONFIGS["C1.1"]
+        report = run_differential_oracle(
+            build_spec(config, n_steps=4),
+            config.placement(),
+            scenario="coschedule-degeneration",
+        )
+        tier = [
+            check
+            for check in report.checks
+            if check.paths == "search-vs-coschedule"
+        ]
+        assert tier, "the coschedule tier must run on the default context"
+        assert all(check.tolerance == 0.0 for check in tier)
+        assert all(check.ok for check in tier)
+
+    def test_oracle_tier_skipped_off_default_context(self, cori3):
+        config = TABLE2_CONFIGS["C1.1"]
+        report = run_differential_oracle(
+            build_spec(config, n_steps=4),
+            config.placement(),
+            cluster=cori3,
+            scenario="coschedule-degeneration-skip",
+        )
+        assert not [
+            check
+            for check in report.checks
+            if check.paths == "search-vs-coschedule"
+        ]
+
+    def test_oracle_tier_has_teeth(self):
+        """A co-scheduler whose winner drifts by one ulp must fail."""
+
+        def mutated(spec, total_nodes, cores_per_node):
+            result = CoScheduler(
+                total_nodes=total_nodes, cores_per_node=cores_per_node
+            ).run([EnsembleRequest(name=spec.name, spec=spec)])
+            score = result.completions[0].score
+            return dataclasses.replace(
+                score, objective=score.objective * (1.0 + 1e-15)
+            )
+
+        config = TABLE2_CONFIGS["C1.1"]
+        report = run_differential_oracle(
+            build_spec(config, n_steps=4),
+            config.placement(),
+            coschedule_fn=mutated,
+            scenario="coschedule-mutation",
+        )
+        assert not report.passed
+        assert any(
+            check.paths == "search-vs-coschedule" and not check.ok
+            for check in report.failures
+        )

@@ -1,0 +1,121 @@
+"""Validation envelope of the request/membership value objects."""
+
+import pytest
+
+from repro.coschedule.requests import (
+    EnsembleRequest,
+    MembershipEvent,
+    validate_stream,
+)
+from repro.runtime.spec import EnsembleSpec, default_member
+from repro.util.errors import ValidationError
+
+
+def _spec(name="req", members=1):
+    return EnsembleSpec(
+        name,
+        tuple(
+            default_member(f"{name}-m{i}", n_steps=4) for i in range(members)
+        ),
+    )
+
+
+class TestMembershipEvent:
+    def test_join_carries_matching_member(self):
+        member = default_member("late", n_steps=4)
+        event = MembershipEvent(10.0, "join", "late", member=member)
+        assert event.member is member
+
+    def test_join_without_member_rejected(self):
+        with pytest.raises(ValidationError, match="needs the MemberSpec"):
+            MembershipEvent(10.0, "join", "late")
+
+    def test_join_name_mismatch_rejected(self):
+        member = default_member("other", n_steps=4)
+        with pytest.raises(ValidationError, match="does not match"):
+            MembershipEvent(10.0, "join", "late", member=member)
+
+    def test_leave_with_member_rejected(self):
+        member = default_member("late", n_steps=4)
+        with pytest.raises(ValidationError, match="must not attach"):
+            MembershipEvent(10.0, "leave", "late", member=member)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValidationError, match="offset"):
+            MembershipEvent(-1.0, "leave", "late")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValidationError, match="unknown membership"):
+            MembershipEvent(0.0, "suspend", "late")
+
+    def test_non_finite_offset_rejected(self):
+        with pytest.raises(ValidationError, match="finite"):
+            MembershipEvent(float("inf"), "leave", "late")
+
+
+class TestEnsembleRequest:
+    def test_weight_is_one_plus_priority(self):
+        request = EnsembleRequest(name="r", spec=_spec(), priority=3)
+        assert request.weight == 4.0
+
+    def test_deadline_at_is_absolute(self):
+        request = EnsembleRequest(
+            name="r", spec=_spec(), arrival_time=100.0, deadline=50.0
+        )
+        assert request.deadline_at == 150.0
+
+    def test_no_deadline_means_no_deadline_at(self):
+        assert EnsembleRequest(name="r", spec=_spec()).deadline_at is None
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"arrival_time": -1.0}, "arrival_time"),
+            ({"deadline": 0.0}, "deadline"),
+            ({"deadline": -5.0}, "deadline"),
+            ({"priority": -1}, "priority"),
+            ({"min_nodes": 0}, "min_nodes"),
+            ({"max_nodes": 0}, "max_nodes"),
+            ({"min_nodes": 3, "max_nodes": 2}, "max_nodes"),
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs, match):
+        with pytest.raises(ValidationError, match=match):
+            EnsembleRequest(name="r", spec=_spec(), **kwargs)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            EnsembleRequest(name="", spec=_spec())
+
+    def test_unsorted_membership_rejected(self):
+        events = (
+            MembershipEvent(20.0, "leave", "a"),
+            MembershipEvent(10.0, "leave", "b"),
+        )
+        with pytest.raises(ValidationError, match="sorted by"):
+            EnsembleRequest(name="r", spec=_spec(), membership=events)
+
+    def test_sorted_membership_accepted(self):
+        events = (
+            MembershipEvent(10.0, "leave", "a"),
+            MembershipEvent(20.0, "leave", "b"),
+        )
+        request = EnsembleRequest(name="r", spec=_spec(), membership=events)
+        assert request.membership == events
+
+
+class TestValidateStream:
+    def test_unique_names_pass_through_unchanged(self):
+        stream = (
+            EnsembleRequest(name="a", spec=_spec("a")),
+            EnsembleRequest(name="b", spec=_spec("b")),
+        )
+        assert validate_stream(stream) == stream
+
+    def test_duplicate_names_rejected(self):
+        stream = (
+            EnsembleRequest(name="a", spec=_spec("a")),
+            EnsembleRequest(name="a", spec=_spec("a2")),
+        )
+        with pytest.raises(ValidationError, match="duplicate"):
+            validate_stream(stream)

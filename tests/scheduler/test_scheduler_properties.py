@@ -3,6 +3,8 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.runtime.placement import EnsemblePlacement, MemberPlacement
+from repro.runtime.spec import EnsembleSpec, default_member
 from repro.scheduler.objectives import score_placement
 from repro.scheduler.policies import (
     GreedyIndicatorPolicy,
@@ -10,7 +12,7 @@ from repro.scheduler.policies import (
     RoundRobinPolicy,
 )
 from repro.util.errors import PlacementError
-from tests.strategies import common_settings, ensembles
+from tests.strategies import cluster_partition, common_settings, ensembles
 
 
 def total_cores(spec):
@@ -64,3 +66,48 @@ class TestPolicyProperties:
             spec, RandomPolicy(seed=1).place(spec, num_nodes, 32)
         )
         assert greedy.objective >= random_score.objective - 1e-12
+
+
+class TestPartitionedPlacements:
+    """Per-block placements shifted onto cluster indices stay confined —
+    the invariant the cluster allocator relies on when it composes one
+    greedy placement per resident into a full partition."""
+
+    @given(cluster_partition())
+    @common_settings
+    def test_block_local_placements_never_escape_their_block(self, partition):
+        total_nodes, blocks = partition
+        policy = GreedyIndicatorPolicy()
+        claimed = set()
+        for index, (offset, size) in enumerate(blocks):
+            spec = EnsembleSpec(
+                f"blk{index}",
+                (
+                    default_member(
+                        f"blk{index}-m0",
+                        n_steps=4,
+                        sim_cores=16,
+                        ana_cores=8,
+                    ),
+                ),
+            )
+            local = policy.place(spec, size, 32)
+            shifted = EnsemblePlacement(
+                num_nodes=total_nodes,
+                members=tuple(
+                    MemberPlacement(
+                        simulation_node=mp.simulation_node + offset,
+                        analysis_nodes=tuple(
+                            node + offset for node in mp.analysis_nodes
+                        ),
+                    )
+                    for mp in local.members
+                ),
+            )
+            demand = shifted.validate_against(spec, 32)
+            assert max(demand.values()) <= 32
+            block = set(range(offset, offset + size))
+            assert shifted.used_nodes <= block
+            assert shifted.used_nodes.isdisjoint(claimed)
+            claimed |= shifted.used_nodes
+        assert len(claimed) <= total_nodes

@@ -36,7 +36,7 @@ from repro.service.schemas import (
     spec_to_dict,
 )
 from repro.util.errors import PlacementError, ValidationError
-from tests.strategies import search_grids
+from tests.strategies import ensemble_stream, search_grids
 
 
 def _json_round_trip(payload: dict) -> dict:
@@ -296,3 +296,108 @@ class TestDesRankFields:
         digests = [canonical_digest(v) for v in variants]
         assert canonical_digest(base) not in digests
         assert len(set(digests)) == len(digests)
+
+
+class TestCoscheduleFields:
+    """The coschedule options field added for cluster co-scheduling."""
+
+    def _coschedule_request(self, stream, **overrides):
+        from repro.service.schemas import CoscheduleOptions
+
+        fields = dict(
+            kind="coschedule",
+            spec=stream[0].spec,
+            num_nodes=4,
+            coschedule=CoscheduleOptions(requests=tuple(stream)),
+        )
+        fields.update(overrides)
+        return PlacementRequest(**fields)
+
+    @given(stream=ensemble_stream())
+    @settings(max_examples=25, deadline=None)
+    def test_stream_round_trips_losslessly(self, stream):
+        from repro.service.schemas import coschedule_options_to_dict
+
+        request = self._coschedule_request(stream)
+        payload = _json_round_trip(request_to_dict(request))
+        rebuilt = request_from_dict(payload)
+        assert coschedule_options_to_dict(
+            rebuilt.coschedule
+        ) == coschedule_options_to_dict(request.coschedule)
+        assert canonical_digest(rebuilt) == canonical_digest(request)
+
+    @given(stream=ensemble_stream(max_requests=2))
+    @settings(max_examples=10, deadline=None)
+    def test_objective_weights_enter_digest(self, stream):
+        from repro.service.schemas import CoscheduleOptions
+
+        base = self._coschedule_request(stream)
+        variant = self._coschedule_request(
+            stream,
+            coschedule=CoscheduleOptions(
+                requests=tuple(stream), fairness_weight=1.0
+            ),
+        )
+        assert canonical_digest(base) != canonical_digest(variant)
+
+    def test_coschedule_needs_a_stream(self):
+        spec = EnsembleSpec(
+            "co", (default_member("em1", num_analyses=1, n_steps=3),)
+        )
+        with pytest.raises(ValidationError, match="stream"):
+            PlacementRequest(kind="coschedule", spec=spec, num_nodes=4)
+
+    def test_spec_must_match_first_stream_entry(self):
+        from repro.coschedule.requests import EnsembleRequest
+        from repro.service.schemas import CoscheduleOptions
+
+        stream_spec = EnsembleSpec(
+            "co", (default_member("em1", num_analyses=1, n_steps=3),)
+        )
+        other_spec = EnsembleSpec(
+            "other", (default_member("em1", num_analyses=1, n_steps=5),)
+        )
+        options = CoscheduleOptions(
+            requests=(EnsembleRequest(name="co", spec=stream_spec),)
+        )
+        with pytest.raises(ValidationError, match="first"):
+            PlacementRequest(
+                kind="coschedule",
+                spec=other_spec,
+                num_nodes=4,
+                coschedule=options,
+            )
+
+    def test_membership_events_round_trip(self):
+        from repro.coschedule.requests import EnsembleRequest, MembershipEvent
+        from repro.service.schemas import CoscheduleOptions
+
+        spec = EnsembleSpec(
+            "ela", (default_member("ela-m0", num_analyses=1, n_steps=3),)
+        )
+        joiner = default_member("late", num_analyses=1, n_steps=3)
+        stream = (
+            EnsembleRequest(
+                name="ela",
+                spec=spec,
+                membership=(
+                    MembershipEvent(5.0, "join", "late", member=joiner),
+                    MembershipEvent(9.0, "leave", "ela-m0"),
+                ),
+            ),
+        )
+        from repro.service.schemas import membership_event_to_dict
+
+        request = self._coschedule_request(stream)
+        payload = _json_round_trip(request_to_dict(request))
+        rebuilt = request_from_dict(payload)
+        rebuilt_events = rebuilt.coschedule.requests[0].membership
+        assert [membership_event_to_dict(e) for e in rebuilt_events] == [
+            membership_event_to_dict(e) for e in stream[0].membership
+        ]
+
+    def test_empty_stream_rejected(self):
+        from repro.service.schemas import CoscheduleOptions
+
+        with pytest.raises(ValidationError, match="at least one"):
+            CoscheduleOptions(requests=())

@@ -9,7 +9,6 @@ real :func:`execute_request` on small specs.
 from __future__ import annotations
 
 import threading
-import time
 
 import pytest
 
@@ -114,7 +113,7 @@ class TestServiceLifecycle:
         # job, so the in-flight one resolves and the queued one stays
         stopper = threading.Thread(target=service.stop)
         stopper.start()
-        time.sleep(0.2)
+        assert service._stopping.wait(5.0)  # stop() has flagged the pool
         release.set()
         stopper.join(timeout=10.0)
         assert not stopper.is_alive()
@@ -140,6 +139,14 @@ class TestResultCachePath:
             stats = service.result_cache.stats()
             assert stats["hits"] == 1
 
+    def test_empty_caller_cache_is_kept(self):
+        # regression: an empty ResultCache is falsy (len 0), so the old
+        # ``result_cache or ResultCache()`` silently swapped in a fresh
+        # one and shared-cache restarts never saw prior results
+        cache = ResultCache()
+        service = PlacementService(workers=1, result_cache=cache)
+        assert service.result_cache is cache
+
     def test_distinct_requests_miss(self):
         with PlacementService(workers=1) as service:
             service.wait(service.submit(_search(num_nodes=2)).id, 30.0)
@@ -149,16 +156,18 @@ class TestResultCachePath:
 
     def test_pending_duplicates_coalesce(self):
         release = threading.Event()
+        claimed = threading.Event()
         calls = []
 
         def slow_once(request, stage_cache=None):
             calls.append(request.num_nodes)
+            claimed.set()
             release.wait(10.0)
             return {"computed": request.num_nodes}
 
         with PlacementService(workers=1, execute_fn=slow_once) as service:
             jobs = [service.submit(_search()) for _ in range(3)]
-            time.sleep(0.05)  # let the worker claim the first
+            assert claimed.wait(5.0)  # the worker holds the first job
             release.set()
             snapshots = [service.wait(j.id, timeout=10.0) for j in jobs]
             assert [s.result for s in snapshots] == [
@@ -217,18 +226,21 @@ class TestRetryAndTimeout:
             assert finished.attempts == 1
 
     def test_job_timeout_fails_job(self):
-        def sleeps(request, stage_cache=None):
-            time.sleep(5.0)
+        hang = threading.Event()
+
+        def stalls(request, stage_cache=None):
+            hang.wait(30.0)
             return {"too": "late"}
 
         with PlacementService(
-            workers=1, job_timeout=0.1, execute_fn=sleeps
+            workers=1, job_timeout=0.1, execute_fn=stalls
         ) as service:
             finished = service.wait(
                 service.submit(_search()).id, timeout=10.0
             )
             assert finished.state is JobState.FAILED
             assert "timeout" in finished.error
+            hang.set()  # release the abandoned daemon thread
 
     def test_fast_job_beats_timeout(self):
         with PlacementService(workers=1, job_timeout=60.0) as service:

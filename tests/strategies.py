@@ -18,7 +18,10 @@ domain type once:
   spanning the grid the paper's evaluation section enumerates;
 - :func:`fault_events` / :func:`fault_schedules` — faults honouring
   the per-kind magnitude envelopes ``FaultEvent.__post_init__``
-  enforces (crash fraction in (0, 1], straggler factor > 1, ...).
+  enforces (crash fraction in (0, 1], straggler factor > 1, ...);
+- :func:`ensemble_stream` / :func:`cluster_partition` — arrival-time
+  ordered co-scheduling request streams and valid node partitions,
+  for the cluster-level admission/allocation properties.
 
 ``common_settings`` is the profile property tests that execute the
 DES (or other slow paths) should apply; pure-arithmetic properties can
@@ -31,6 +34,7 @@ from repro.components.analysis import EigenAnalysisModel
 from repro.components.simulation import MDSimulationModel
 from repro.core.indicators import PlacementSets
 from repro.core.stages import AnalysisStages, MemberStages, SimulationStages
+from repro.coschedule.requests import EnsembleRequest
 from repro.faults.models import FAULT_STAGES, FaultEvent, FaultKind, FaultSchedule
 from repro.runtime.placement import EnsemblePlacement, MemberPlacement
 from repro.runtime.spec import EnsembleSpec, MemberSpec, default_member
@@ -145,6 +149,90 @@ def search_grids(draw):
         ),
     )
     return spec, num_nodes, cores_per_node
+
+
+@st.composite
+def ensemble_stream(draw, max_requests=4, total_nodes=4):
+    """An arrival-time-ordered co-scheduling request stream.
+
+    Every request is feasible on a ``total_nodes`` x 32-core cluster
+    (members demand at most 16+8 cores), names are unique, deadlines
+    are either absent or generous-but-finite, and arrival times are
+    non-decreasing — the envelope ``validate_stream`` accepts.
+    """
+    n_requests = draw(st.integers(min_value=1, max_value=max_requests))
+    arrivals = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+                min_size=n_requests,
+                max_size=n_requests,
+            )
+        )
+    )
+    requests = []
+    for i in range(n_requests):
+        n_members = draw(st.integers(min_value=1, max_value=2))
+        spec = EnsembleSpec(
+            f"stream{i}",
+            tuple(
+                default_member(
+                    f"stream{i}-m{j}",
+                    num_analyses=1,
+                    n_steps=draw(st.integers(min_value=2, max_value=8)),
+                    sim_cores=16,
+                    ana_cores=8,
+                )
+                for j in range(n_members)
+            ),
+        )
+        requests.append(
+            EnsembleRequest(
+                name=f"stream{i}",
+                spec=spec,
+                arrival_time=arrivals[i],
+                deadline=draw(
+                    st.one_of(
+                        st.none(),
+                        st.floats(
+                            min_value=50_000.0,
+                            max_value=500_000.0,
+                            allow_nan=False,
+                        ),
+                    )
+                ),
+                priority=draw(st.integers(min_value=0, max_value=3)),
+                max_nodes=draw(
+                    st.one_of(
+                        st.none(),
+                        st.integers(min_value=1, max_value=total_nodes),
+                    )
+                ),
+            )
+        )
+    return tuple(requests)
+
+
+@st.composite
+def cluster_partition(draw, total_nodes=8, max_blocks=4):
+    """A valid node partition: disjoint contiguous blocks summing <= total.
+
+    Returned as ``(total_nodes, [(offset, size), ...])`` — the shape
+    :class:`~repro.coschedule.allocator.EnsembleAllocation` records
+    and the conservation property checks.
+    """
+    n_blocks = draw(st.integers(min_value=1, max_value=max_blocks))
+    sizes = [
+        draw(st.integers(min_value=1, max_value=2)) for _ in range(n_blocks)
+    ]
+    while sum(sizes) > total_nodes:
+        sizes.pop()
+    offset = 0
+    blocks = []
+    for size in sizes:
+        blocks.append((offset, size))
+        offset += size
+    return total_nodes, blocks
 
 
 _fault_kinds = st.sampled_from(list(FaultKind))

@@ -49,6 +49,53 @@ def test_scaling_docs_match_bench_script():
     assert SCALING_HEADER in perf, "PERFORMANCE.md lost the scaling table"
 
 
+def test_coscheduling_worked_example_is_golden():
+    # the two-ensemble walkthrough in docs/COSCHEDULING.md is golden:
+    # re-run the scenario and assert every number and reason string in
+    # the doc's timeline is what the loop actually produces
+    from repro.coschedule import (
+        CoScheduler,
+        canonical_mixed_deadline_stream,
+        fifo_exclusive_schedule,
+    )
+
+    text = (REPO_ROOT / "docs" / "COSCHEDULING.md").read_text()
+    stream = canonical_mixed_deadline_stream(num_requests=2)
+    result = CoScheduler(total_nodes=6).run(stream)
+    fifo = fifo_exclusive_schedule(stream, 6)
+
+    for decision in result.decisions:
+        assert decision.reason in text, (
+            f"COSCHEDULING.md lost the {decision.request} admission "
+            f"evidence: {decision.reason}"
+        )
+    for event in result.timeline:
+        if event.kind != "allocation":
+            continue
+        assert f"t={event.time:.2f}" in text
+        for entry in event.detail["entries"]:
+            needle = (
+                f"{entry['name']} -> offset {entry['node_offset']}, "
+                f"{entry['num_nodes']} nodes  "
+                f"(U={entry['utility']:.4f}, "
+                f"finish {entry['finish_time']:.2f})"
+            )
+            assert needle in text, (
+                f"COSCHEDULING.md timeline drifted; expected: {needle}"
+            )
+    gain = result.utilization / fifo.utilization
+    for needle in (
+        f"{result.utilization:.3f}",
+        f"{fifo.utilization:.3f}",
+        f"{gain:.2f}x",
+        f"t={result.makespan:.2f}",
+        f"t={fifo.makespan:.2f}",
+    ):
+        assert needle in text, (
+            f"COSCHEDULING.md utilization summary drifted: {needle}"
+        )
+
+
 def test_fault_models_reference_exists():
     doc = REPO_ROOT / "docs" / "FAULT_MODELS.md"
     text = doc.read_text()

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.components.md",
     "repro.configs",
     "repro.core",
+    "repro.coschedule",
     "repro.des",
     "repro.dtl",
     "repro.experiments",
